@@ -1,0 +1,289 @@
+package kdash
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (Section 6). Each benchmark drives the same implementation
+// as cmd/kdash-bench (internal/experiments) so `go test -bench .` and the
+// CLI report the same quantities. See EXPERIMENTS.md for a reference run
+// annotated against the paper's reported trends.
+//
+// The per-figure query benchmarks (2-4, 7, 9) use prebuilt indexes and
+// time the query path; the precompute benchmarks (5-6) time index
+// construction per reordering method.
+
+import (
+	"fmt"
+	"testing"
+
+	"kdash/internal/blin"
+	"kdash/internal/bpa"
+	"kdash/internal/core"
+	"kdash/internal/dataset"
+	"kdash/internal/experiments"
+	"kdash/internal/reorder"
+)
+
+// benchDatasets caches dataset construction across benchmarks.
+var benchDatasets = map[string]*dataset.Dataset{}
+
+func benchDataset(b *testing.B, name string) *dataset.Dataset {
+	b.Helper()
+	if d, ok := benchDatasets[name]; ok {
+		return d
+	}
+	d, err := dataset.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchDatasets[name] = d
+	return d
+}
+
+// benchIndexes caches hybrid K-dash indexes across benchmarks.
+var benchIndexes = map[string]*core.Index{}
+
+func benchIndex(b *testing.B, name string) *core.Index {
+	b.Helper()
+	if ix, ok := benchIndexes[name]; ok {
+		return ix
+	}
+	d := benchDataset(b, name)
+	ix, err := core.BuildIndex(d.Graph, core.BuildOptions{Reorder: reorder.Hybrid, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchIndexes[name] = ix
+	return ix
+}
+
+// ---------------------------------------------------------------------
+// Figure 2: query time of K-dash(K), NB_LIN(rank), BPA(K) per dataset.
+// ---------------------------------------------------------------------
+
+func BenchmarkFigure2KDash(b *testing.B) {
+	for _, name := range dataset.Names() {
+		for _, k := range []int{5, 25, 50} {
+			b.Run(fmt.Sprintf("%s/K=%d", name, k), func(b *testing.B) {
+				ix := benchIndex(b, name)
+				n := ix.N()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := ix.TopK(i%n, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFigure2NBLin(b *testing.B) {
+	for _, name := range dataset.Names() {
+		for _, rank := range []int{10, 100} {
+			b.Run(fmt.Sprintf("%s/rank=%d", name, rank), func(b *testing.B) {
+				d := benchDataset(b, name)
+				nb, err := blin.NewNBLin(d.Graph, blin.Options{Rank: rank, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := d.Graph.N()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := nb.TopK(i%n, 5); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFigure2BPA(b *testing.B) {
+	for _, name := range dataset.Names() {
+		for _, k := range []int{5, 25, 50} {
+			b.Run(fmt.Sprintf("%s/K=%d", name, k), func(b *testing.B) {
+				d := benchDataset(b, name)
+				ix, err := bpa.New(d.Graph, bpa.Options{Hubs: 100})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := d.Graph.N()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := ix.TopK(i%n, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figures 3 & 4: precision/time sweep on Dictionary. The precision side
+// is not a timing, so the benchmark reports it as a custom metric and
+// times the swept query path.
+// ---------------------------------------------------------------------
+
+func BenchmarkFigure3and4Sweep(b *testing.B) {
+	for _, param := range []int{10, 40, 70, 100} {
+		b.Run(fmt.Sprintf("param=%d", param), func(b *testing.B) {
+			var last experiments.SweepRow
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Figure3and4(experiments.Config{
+					Queries: 5, Seed: 1,
+					Datasets: []*dataset.Dataset{benchDataset(b, "Dictionary")},
+					Ranks:    []int{param}, Hubs: []int{param},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rows[0]
+			}
+			b.ReportMetric(last.PrecisionNBLin, "precision-nblin")
+			b.ReportMetric(last.PrecisionBPA, "precision-bpa")
+			b.ReportMetric(last.PrecisionKDash, "precision-kdash")
+			b.ReportMetric(float64(last.TimeNBLin.Nanoseconds()), "ns-nblin")
+			b.ReportMetric(float64(last.TimeBPA.Nanoseconds()), "ns-bpa")
+			b.ReportMetric(float64(last.TimeKDash.Nanoseconds()), "ns-kdash")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figures 5 & 6: precompute time (timed) and inverse-factor sparsity
+// (reported metric) per reordering method.
+// ---------------------------------------------------------------------
+
+func BenchmarkFigure5and6Precompute(b *testing.B) {
+	for _, name := range dataset.Names() {
+		for _, m := range reorder.Methods {
+			b.Run(fmt.Sprintf("%s/%s", name, m), func(b *testing.B) {
+				d := benchDataset(b, name)
+				var ratio float64
+				for i := 0; i < b.N; i++ {
+					ix, err := core.BuildIndex(d.Graph, core.BuildOptions{Reorder: m, Seed: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+					ratio = ix.Stats().InverseRatio
+				}
+				b.ReportMetric(ratio, "nnz/m")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: query time with vs. without tree-estimation pruning.
+// ---------------------------------------------------------------------
+
+func BenchmarkFigure7Pruning(b *testing.B) {
+	for _, name := range dataset.Names() {
+		for _, mode := range []string{"with", "without"} {
+			b.Run(fmt.Sprintf("%s/%s", name, mode), func(b *testing.B) {
+				ix := benchIndex(b, name)
+				opt := core.SearchOptions{K: 5, DisablePruning: mode == "without"}
+				n := ix.N()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := ix.Search(i%n, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figure 9: proximity computations, query-rooted vs random-rooted tree.
+// ---------------------------------------------------------------------
+
+func BenchmarkFigure9RootSelection(b *testing.B) {
+	for _, name := range dataset.Names() {
+		for _, mode := range []string{"query-root", "random-root"} {
+			b.Run(fmt.Sprintf("%s/%s", name, mode), func(b *testing.B) {
+				ix := benchIndex(b, name)
+				n := ix.N()
+				var comps float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					opt := core.SearchOptions{K: 5, RandomRoot: mode == "random-root", RootSeed: int64(i)}
+					_, st, err := ix.Search(i%n, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					comps += float64(st.ProximityComputations)
+				}
+				b.ReportMetric(comps/float64(b.N), "proximity-computations")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Table 2: case study throughput (the table itself is generated by
+// cmd/kdash-bench -exp table2).
+// ---------------------------------------------------------------------
+
+func BenchmarkTable2CaseStudy(b *testing.B) {
+	d := benchDataset(b, "Dictionary")
+	ix := benchIndex(b, "Dictionary")
+	terms := dataset.CaseStudyTerms()
+	qs := make([]int, len(terms))
+	for i, term := range terms {
+		q, err := d.NodeByLabel(term)
+		if err != nil {
+			b.Fatal(err)
+		}
+		qs[i] = q
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.TopK(qs[i%len(qs)], 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+// ---------------------------------------------------------------------
+
+// BenchmarkAblationProximityVector times the factor-based full proximity
+// vector against the iterative method, the "exact but slow vs exact and
+// fast" substrate comparison behind Equation (3).
+func BenchmarkAblationProximityVector(b *testing.B) {
+	d := benchDataset(b, "Internet")
+	b.Run("factors", func(b *testing.B) {
+		ix := benchIndex(b, "Internet")
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.ProximityVector(i % ix.N()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("iterative", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := IterativeProximities(d.Graph, i%d.Graph.N(), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationParallelInvert times serial vs parallel triangular
+// inversion (an implementation extension; results must be identical).
+func BenchmarkAblationParallelInvert(b *testing.B) {
+	d := benchDataset(b, "Citation")
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.BuildIndex(d.Graph, core.BuildOptions{Reorder: reorder.Hybrid, Seed: 1, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

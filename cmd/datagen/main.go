@@ -1,0 +1,65 @@
+// Command datagen writes the five simulated evaluation datasets as TSV
+// edge lists (plus the Dictionary label file) so they can be inspected or
+// fed back through cmd/kdash.
+//
+// Usage:
+//
+//	datagen -out ./data
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kdash/internal/dataset"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, ds := range dataset.All() {
+		path := filepath.Join(*out, ds.Name+".tsv")
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ds.Graph.WriteEdgeList(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d nodes, %d edges -> %s\n", ds.Name, ds.Graph.N(), ds.Graph.M(), path)
+		if ds.Labels != nil {
+			lp := filepath.Join(*out, ds.Name+".labels.tsv")
+			lf, err := os.Create(lp)
+			if err != nil {
+				fatal(err)
+			}
+			w := bufio.NewWriter(lf)
+			for i, l := range ds.Labels {
+				fmt.Fprintf(w, "%d\t%s\n", i, l)
+			}
+			if err := w.Flush(); err != nil {
+				lf.Close()
+				fatal(err)
+			}
+			if err := lf.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s labels -> %s\n", ds.Name, lp)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command kdash-bench regenerates the paper's evaluation: every figure
+// (2-7, 9) and the Table 2 case study, plus the restart-probability sweep
+// and drop-tolerance ablation extensions.
+//
+// Usage:
+//
+//	kdash-bench -exp all            # everything (minutes)
+//	kdash-bench -exp fig2           # one experiment
+//	kdash-bench -exp fig5 -queries 5
+//
+// Output is printed as plain tables; EXPERIMENTS.md records a reference
+// run next to the paper's reported trends.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kdash/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|all")
+		queries = flag.Int("queries", 10, "query nodes averaged per measurement")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Queries: *queries, Seed: *seed}
+	want := strings.Split(*exp, ",")
+	run := func(name string) bool {
+		for _, w := range want {
+			if w == "all" || w == name {
+				return true
+			}
+		}
+		return false
+	}
+	any := false
+	// Figures 3/4 and 5/6 share a computation; emit both tables from one
+	// pass when either is requested.
+	if run("fig2") {
+		any = true
+		section("Figure 2 — top-k search efficiency (wall clock per query)")
+		rows, err := experiments.Figure2(cfg)
+		check(err)
+		experiments.WriteTimingRows(os.Stdout, rows)
+	}
+	if run("fig3") || run("fig4") {
+		any = true
+		section("Figures 3 & 4 — precision and query time vs target rank / hub count (Dictionary)")
+		rows, err := experiments.Figure3and4(cfg)
+		check(err)
+		experiments.WriteSweepRows(os.Stdout, rows)
+	}
+	if run("fig5") || run("fig6") {
+		any = true
+		section("Figures 5 & 6 — inverse-factor sparsity and precompute time per reordering")
+		rows, err := experiments.Figure5and6(cfg)
+		check(err)
+		experiments.WriteReorderRows(os.Stdout, rows)
+	}
+	if run("fig7") {
+		any = true
+		section("Figure 7 — effect of tree-estimation pruning")
+		rows, err := experiments.Figure7(cfg)
+		check(err)
+		experiments.WritePruningRows(os.Stdout, rows)
+	}
+	if run("fig9") {
+		any = true
+		section("Figure 9 — root-node selection (mean proximity computations)")
+		rows, err := experiments.Figure9(cfg)
+		check(err)
+		experiments.WriteRootRows(os.Stdout, rows)
+	}
+	if run("table2") {
+		any = true
+		section("Table 2 — case study: top-5 terms (Dictionary)")
+		rows, err := experiments.Table2(cfg)
+		check(err)
+		experiments.WriteCaseStudyRows(os.Stdout, rows)
+	}
+	if run("csweep") {
+		any = true
+		section("Extension — restart probability sweep (exactness & query time)")
+		rows, err := experiments.CSweep(cfg)
+		check(err)
+		experiments.WriteCSweepRows(os.Stdout, rows)
+	}
+	if run("ablation") {
+		any = true
+		section("Extension — drop-tolerance ablation (sparsity vs exactness)")
+		rows, err := experiments.DropTolAblation(cfg)
+		check(err)
+		experiments.WriteAblationRows(os.Stdout, rows)
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "kdash-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func section(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kdash-bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+// Command kdash-server serves exact top-k RWR queries over HTTP from a
+// prebuilt or freshly built K-dash index.
+//
+// Usage:
+//
+//	kdash-server -graph edges.tsv -addr :8080
+//	kdash-server -load-index graph.idx -addr :8080
+//
+// Endpoints:
+//
+//	GET  /topk?q=<node>&k=<count>[&exclude=1,2,3]
+//	POST /personalized   {"seeds":{"3":1,"80":2},"k":5}
+//	GET  /proximity?q=<node>&u=<node>
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"kdash"
+	"kdash/internal/server"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list file to index")
+		loadIdx   = flag.String("load-index", "", "prebuilt index to load instead of building")
+		addr      = flag.String("addr", ":8080", "listen address")
+		c         = flag.Float64("c", kdash.DefaultRestart, "restart probability (build mode)")
+	)
+	flag.Parse()
+	var ix *kdash.Index
+	switch {
+	case *loadIdx != "":
+		f, err := os.Open(*loadIdx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ix, err = kdash.LoadIndex(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded index: %d nodes", ix.N())
+	case *graphPath != "":
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := kdash.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		opts := kdash.DefaultOptions()
+		opts.Restart = *c
+		ix, err = kdash.BuildIndex(g, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("built index: %d nodes / %d edges in %v", g.N(), g.M(), time.Since(start).Round(time.Millisecond))
+	default:
+		fmt.Fprintln(os.Stderr, "kdash-server: need -graph or -load-index")
+		flag.Usage()
+		os.Exit(2)
+	}
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      server.New(ix),
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 10 * time.Second,
+	}
+	log.Printf("serving on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,55 @@
+// Dictionary: the paper's Table 2 case study on the simulated FOLDOC
+// word graph — find the most related terms for company and operating
+// system names, exactly, and contrast with low-rank NB_LIN.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"kdash"
+	"kdash/internal/blin"
+	"kdash/internal/dataset"
+)
+
+func main() {
+	ds := dataset.Dictionary()
+	fmt.Printf("dictionary: %d terms, %d definition links\n\n", ds.Graph.N(), ds.Graph.M())
+
+	ix, err := kdash.BuildIndex(ds.Graph, kdash.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	nb, err := blin.NewNBLin(ds.Graph, blin.Options{Rank: 10, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const k = 5
+	for _, term := range dataset.CaseStudyTerms() {
+		q, err := ds.NodeByLabel(term)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, _, err := ix.TopK(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		approx, err := nb.TopK(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", term)
+		fmt.Printf("  K-dash     : %s\n", joinLabels(ds, exact))
+		fmt.Printf("  NB_LIN(10) : %s\n\n", joinLabels(ds, approx))
+	}
+}
+
+func joinLabels(ds *dataset.Dataset, rs []kdash.Result) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = ds.Label(r.Node)
+	}
+	return strings.Join(parts, " | ")
+}

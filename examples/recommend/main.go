@@ -1,0 +1,94 @@
+// Recommend: RWR-based item recommendation over a user-tag-item graph,
+// the scenario of Konstas et al. (SIGIR 2009) that the paper's
+// introduction motivates. Users connect to tags they applied and items
+// they consumed; tags connect to the items they describe. The top-k RWR
+// proximities from a user — restricted to item nodes the user has not
+// seen — are the recommendations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"kdash"
+)
+
+const (
+	nUsers = 200
+	nTags  = 50
+	nItems = 400
+	k      = 5
+)
+
+func main() {
+	// Node layout: users [0, nUsers), tags [nUsers, nUsers+nTags),
+	// items [nUsers+nTags, n).
+	n := nUsers + nTags + nItems
+	tag := func(t int) int { return nUsers + t }
+	item := func(i int) int { return nUsers + nTags + i }
+
+	rng := rand.New(rand.NewSource(42))
+	b := kdash.NewBuilder(n)
+	add := func(u, v int, w float64) {
+		if err := b.AddEdge(u, v, w); err != nil {
+			log.Fatal(err)
+		}
+		if err := b.AddEdge(v, u, w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	seen := make([]map[int]bool, nUsers)
+	// Each user has one "taste" cluster of tags; items belong to tags.
+	for i := 0; i < nItems; i++ {
+		t := i * nTags / nItems
+		add(item(i), tag(t), 2)
+		if rng.Float64() < 0.3 { // some items span two tags
+			add(item(i), tag((t+1)%nTags), 1)
+		}
+	}
+	for u := 0; u < nUsers; u++ {
+		seen[u] = map[int]bool{}
+		taste := u * nTags / nUsers
+		for e := 0; e < 6; e++ {
+			t := taste
+			if rng.Float64() < 0.25 {
+				t = rng.Intn(nTags)
+			}
+			add(u, tag(t), 1)
+			// Consume a random item under that tag.
+			it := t*nItems/nTags + rng.Intn(nItems/nTags)
+			add(u, item(it), 3)
+			seen[u][item(it)] = true
+		}
+	}
+	g := b.Build()
+
+	ix, err := kdash.BuildIndex(g, kdash.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tripartite graph: %d users, %d tags, %d items (%d edges)\n\n", nUsers, nTags, nItems, g.M())
+
+	for _, user := range []int{3, 77, 150} {
+		// Ask for extra results: user/tag nodes and already-seen items
+		// are filtered out of the ranking.
+		rs, _, err := ix.TopK(user, k+60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("user %d -> recommended items:\n", user)
+		count := 0
+		for _, r := range rs {
+			if r.Node < nUsers+nTags || seen[user][r.Node] {
+				continue // not an item, or already consumed
+			}
+			count++
+			fmt.Printf("  %d. item %-5d score %.6f\n", count, r.Node-nUsers-nTags, r.Score)
+			if count == k {
+				break
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,225 @@
+package blin
+
+import (
+	"math"
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/rwr"
+	"kdash/internal/topk"
+)
+
+// precision computes |top-k ∩ true top-k| / k, the paper's accuracy
+// metric (Section 6.2).
+func precision(got, want []topk.Result) float64 {
+	wantSet := map[int]bool{}
+	for _, r := range want {
+		wantSet[r.Node] = true
+	}
+	hit := 0
+	for _, r := range got {
+		if wantSet[r.Node] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(want))
+}
+
+func TestNBLinFullRankIsExact(t *testing.T) {
+	// With rank = n the SVD is exact and Woodbury gives the true inverse,
+	// so the proximity vector must match the iterative method closely.
+	g := gen.ErdosRenyi(40, 160, 1)
+	a := g.ColumnNormalized()
+	nb, err := NewNBLin(g, Options{Rank: 40, Seed: 2, PowerIters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []int{0, 13, 39} {
+		want, _, err := rwr.Iterative(a, q, 0.95, 1e-14, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nb.ProximityVector(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range want {
+			if math.Abs(got[u]-want[u]) > 1e-6 {
+				t.Fatalf("q=%d: p[%d] = %v, want %v", q, u, got[u], want[u])
+			}
+		}
+	}
+}
+
+func TestNBLinPrecisionImprovesWithRank(t *testing.T) {
+	g := gen.PlantedPartition(150, 5, 0.2, 0.01, 3)
+	a := g.ColumnNormalized()
+	q, k := 7, 10
+	want, err := rwr.TopK(a, q, k, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prec := func(rank int) float64 {
+		nb, err := NewNBLin(g, Options{Rank: rank, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nb.TopK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return precision(got, want)
+	}
+	low, high := prec(5), prec(120)
+	if high < low {
+		t.Errorf("precision should not degrade with rank: rank5=%v rank120=%v", low, high)
+	}
+	if high < 0.9 {
+		t.Errorf("near-full rank precision %v should be high", high)
+	}
+}
+
+func TestNBLinLowRankImperfect(t *testing.T) {
+	// The whole point of the paper: aggressive low rank loses accuracy on
+	// clustered graphs. Average precision over queries must drop below 1.
+	g := gen.PlantedPartition(200, 8, 0.25, 0.005, 5)
+	a := g.ColumnNormalized()
+	nb, err := NewNBLin(g, Options{Rank: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 10
+	total := 0.0
+	queries := []int{0, 25, 50, 75, 100, 125, 150, 175}
+	for _, q := range queries {
+		want, err := rwr.TopK(a, q, k, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := nb.TopK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += precision(got, want)
+	}
+	if avg := total / float64(len(queries)); avg > 0.95 {
+		t.Errorf("rank-4 NB_LIN should not be near-exact on a clustered graph, avg precision %v", avg)
+	}
+}
+
+func TestBLinFullSetupIsAccurate(t *testing.T) {
+	// B_LIN with exact blocks and a generous rank for the cross part
+	// approaches the exact answer.
+	g := gen.PlantedPartition(120, 4, 0.25, 0.01, 7)
+	a := g.ColumnNormalized()
+	bl, err := NewBLin(g, Options{Rank: 100, Seed: 8, PowerIters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := 11
+	want, _, err := rwr.Iterative(a, q, 0.95, 1e-14, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bl.ProximityVector(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if math.Abs(got[u]-want[u]) > 1e-5 {
+			t.Fatalf("p[%d] = %v, want %v", u, got[u], want[u])
+		}
+	}
+}
+
+func TestBLinBetterThanNBLinAtEqualRank(t *testing.T) {
+	// On a strongly clustered graph the block-exact part lets B_LIN beat
+	// NB_LIN at the same (small) rank, the motivation Tong et al. give.
+	g := gen.PlantedPartition(200, 5, 0.3, 0.003, 9)
+	a := g.ColumnNormalized()
+	k, rank := 10, 6
+	nb, err := NewNBLin(g, Options{Rank: rank, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := NewBLin(g, Options{Rank: rank, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pn, pb float64
+	queries := []int{3, 43, 83, 123, 163}
+	for _, q := range queries {
+		want, err := rwr.TopK(a, q, k, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gn, err := nb.TopK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := bl.TopK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pn += precision(gn, want)
+		pb += precision(gb, want)
+	}
+	if pb < pn {
+		t.Errorf("B_LIN precision %v should be at least NB_LIN's %v at rank %d", pb, pn, rank)
+	}
+}
+
+func TestBLinChopRespectsMaxBlock(t *testing.T) {
+	g := gen.PlantedPartition(150, 2, 0.3, 0.01, 11) // two big communities
+	bl, err := NewBLin(g, Options{Rank: 10, Seed: 12, MaxBlock: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blk := range bl.blocks {
+		if len(blk.nodes) > 30 {
+			t.Errorf("block size %d exceeds MaxBlock 30", len(blk.nodes))
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g := gen.ErdosRenyi(20, 60, 13)
+	if _, err := NewNBLin(g, Options{Rank: 0}); err == nil {
+		t.Error("expected rank error")
+	}
+	if _, err := NewNBLin(g, Options{Rank: 5, Restart: 2}); err == nil {
+		t.Error("expected restart error")
+	}
+	if _, err := NewBLin(g, Options{Rank: 0}); err == nil {
+		t.Error("expected rank error (B_LIN)")
+	}
+	nb, err := NewNBLin(g, Options{Rank: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nb.ProximityVector(25); err == nil {
+		t.Error("expected out-of-range query error")
+	}
+	bl, err := NewBLin(g, Options{Rank: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bl.TopK(-1, 3); err == nil {
+		t.Error("expected out-of-range query error (B_LIN)")
+	}
+}
+
+func TestQueryNodeRanksFirstUsually(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 14)
+	nb, err := NewNBLin(g, Options{Rank: 60, Seed: 15, PowerIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := nb.TopK(31, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Node != 31 {
+		t.Errorf("query should rank first at a healthy rank, got %v", rs)
+	}
+}

@@ -1,0 +1,193 @@
+package bpa
+
+import (
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/rwr"
+)
+
+func TestRecallAlwaysOne(t *testing.T) {
+	// The defining guarantee: the BPA answer set contains every exact
+	// top-k node, across hub settings and queries.
+	g := gen.PlantedPartition(150, 4, 0.2, 0.01, 1)
+	a := g.ColumnNormalized()
+	for _, hubs := range []int{0, 10, 50} {
+		ix, err := New(g, Options{Hubs: hubs})
+		if err != nil {
+			t.Fatalf("hubs=%d: %v", hubs, err)
+		}
+		for _, q := range []int{0, 40, 99} {
+			k := 8
+			want, err := rwr.TopK(a, q, k, 0.95)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := ix.TopK(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSet := map[int]bool{}
+			for _, r := range got {
+				gotSet[r.Node] = true
+			}
+			for _, w := range want {
+				if w.Score > 1e-9 && !gotSet[w.Node] {
+					t.Errorf("hubs=%d q=%d: exact answer node %d (score %v) missing from BPA set",
+						hubs, q, w.Node, w.Score)
+				}
+			}
+		}
+	}
+}
+
+func TestAnswerSetCanExceedK(t *testing.T) {
+	// With a loose epsilon the bounds cannot separate nodes, so the set
+	// grows beyond K — the behaviour the paper notes for BPA.
+	g := gen.ErdosRenyi(100, 500, 2)
+	ix, err := New(g, Options{Hubs: 0, Epsilon: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.TopK(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) <= 3 {
+		t.Logf("answer set size %d (may legitimately be small on easy queries)", len(got))
+	}
+}
+
+func TestHubsReducePushes(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 3)
+	few, err := New(g, Options{Hubs: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := New(g, Options{Hubs: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, k := 120, 5
+	_, sFew, err := few.TopK(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sMany, err := many.TopK(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sMany.Pushes >= sFew.Pushes {
+		t.Errorf("hubs should cut pushes: %d (50 hubs) vs %d (0 hubs)", sMany.Pushes, sFew.Pushes)
+	}
+	if sMany.HubHits == 0 {
+		t.Error("expected hub hits with 50 hubs on a BA graph")
+	}
+}
+
+func TestEstimatesAreLowerBounds(t *testing.T) {
+	g := gen.DirectedScaleFree(120, 3, 0.3, 0.25, 4)
+	a := g.ColumnNormalized()
+	ix, err := New(g, Options{Hubs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := 15
+	exact, _, err := rwr.Iterative(a, q, 0.95, 1e-13, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ix.TopK(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if r.Score > exact[r.Node]+1e-6 {
+			t.Errorf("estimate %v exceeds exact proximity %v at node %d", r.Score, exact[r.Node], r.Node)
+		}
+		if r.Score+stats.Residual < exact[r.Node]-1e-6 {
+			t.Errorf("upper bound %v below exact %v at node %d", r.Score+stats.Residual, exact[r.Node], r.Node)
+		}
+	}
+}
+
+func TestQueryRanksFirst(t *testing.T) {
+	g := gen.ErdosRenyi(80, 320, 5)
+	ix, err := New(g, Options{Hubs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.TopK(33, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[0].Node != 33 {
+		t.Errorf("query node should lead the answer set: %v", got)
+	}
+}
+
+func TestQueryIsHub(t *testing.T) {
+	// When the query itself is a hub, one push resolves everything.
+	g := gen.BarabasiAlbert(100, 3, 6)
+	ix, err := New(g, Options{Hubs: 100}) // every node is a hub
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ix.TopK(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pushes != 1 || stats.HubHits != 1 {
+		t.Errorf("hub query should settle in one push, stats %+v", stats)
+	}
+	a := g.ColumnNormalized()
+	want, err := rwr.TopK(a, 4, 5, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if got[i].Node != w.Node {
+			t.Errorf("rank %d: got %d want %d", i, got[i].Node, w.Node)
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	g := gen.ErdosRenyi(20, 60, 7)
+	if _, err := New(g, Options{Hubs: -1}); err == nil {
+		t.Error("expected error for negative hubs")
+	}
+	if _, err := New(g, Options{Hubs: 21}); err == nil {
+		t.Error("expected error for hubs > n")
+	}
+	if _, err := New(g, Options{Restart: 1.2}); err == nil {
+		t.Error("expected error for restart outside (0,1)")
+	}
+	ix, err := New(g, Options{Hubs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ix.TopK(50, 3); err == nil {
+		t.Error("expected error for out-of-range query")
+	}
+	if _, _, err := ix.TopK(0, 0); err == nil {
+		t.Error("expected error for k=0")
+	}
+}
+
+func TestDanglingNodesHandled(t *testing.T) {
+	// Residual pushed into a dangling node settles (c fraction) and the
+	// rest vanishes — mirroring how RWR mass dies there.
+	g := gen.DirectedScaleFree(60, 2, 0.5, 0.2, 8)
+	ix, err := New(g, Options{Hubs: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ix.TopK(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Error("expected non-empty answer set")
+	}
+}

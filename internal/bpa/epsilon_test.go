@@ -1,0 +1,58 @@
+package bpa
+
+import (
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/rwr"
+	"kdash/internal/topk"
+)
+
+func TestTighterEpsilonSharpensAnswerSet(t *testing.T) {
+	// A smaller push threshold leaves less residual, so the answer set
+	// (everything whose upper bound reaches the k-th lower bound) can only
+	// get tighter, while recall stays 1 at both settings.
+	g := gen.PlantedPartition(150, 4, 0.2, 0.01, 1)
+	a := g.ColumnNormalized()
+	loose, err := New(g, Options{Hubs: 10, Epsilon: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := New(g, Options{Hubs: 10, Epsilon: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, k := 7, 5
+	want, err := rwr.TopK(a, q, k, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, sl, err := loose.TopK(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, st, err := tight.TopK(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt) > len(rl) {
+		t.Errorf("tighter epsilon grew the answer set: %d vs %d", len(rt), len(rl))
+	}
+	if st.Residual > sl.Residual {
+		t.Errorf("tighter epsilon left more residual: %v vs %v", st.Residual, sl.Residual)
+	}
+	for _, rs := range [][]topk.Result{rl, rt} {
+		set := map[int]bool{}
+		for _, r := range rs {
+			set[r.Node] = true
+		}
+		for _, w := range want {
+			if w.Score > 1e-9 && !set[w.Node] {
+				t.Errorf("recall violated: exact answer %d missing", w.Node)
+			}
+		}
+	}
+	if sl.Pushes >= st.Pushes {
+		t.Errorf("tighter epsilon should push more: %d vs %d", st.Pushes, sl.Pushes)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/reorder"
+)
+
+// TestConcurrentQueries exercises the documented guarantee that an Index
+// is safe for concurrent queries: many goroutines issue overlapping
+// TopK / Search / ProximityVector calls and every answer must equal the
+// serial answer. Run with -race to validate the data-race claim.
+func TestConcurrentQueries(t *testing.T) {
+	g := gen.PlantedPartition(200, 5, 0.2, 0.01, 1)
+	ix, err := BuildIndex(g, BuildOptions{Reorder: reorder.Hybrid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []int{0, 17, 40, 99, 150, 199}
+	type answer struct {
+		nodes  []int
+		scores []float64
+	}
+	serial := map[int]answer{}
+	for _, q := range queries {
+		rs, _, err := ix.TopK(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a answer
+		for _, r := range rs {
+			a.nodes = append(a.nodes, r.Node)
+			a.scores = append(a.scores, r.Score)
+		}
+		serial[q] = a
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				q := queries[(worker+rep)%len(queries)]
+				rs, _, err := ix.TopK(q, 10)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := serial[q]
+				for i, r := range rs {
+					if r.Node != want.nodes[i] || r.Score != want.scores[i] {
+						errs <- errMismatch(q, i)
+						return
+					}
+				}
+				if rep%5 == 0 {
+					if _, err := ix.ProximityVector(q); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if rep%7 == 0 {
+					if _, _, err := ix.TopKPersonalized(map[int]float64{q: 1, (q + 1) % ix.N(): 2}, 5); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch2 struct {
+	q, rank int
+}
+
+func errMismatch(q, rank int) error { return errMismatch2{q, rank} }
+
+func (e errMismatch2) Error() string {
+	return "concurrent query answer diverged from serial answer"
+}

@@ -1,0 +1,477 @@
+// Package core implements K-dash, the paper's contribution: exact top-k
+// search for Random Walk with Restart proximity.
+//
+// An Index holds the precomputed state of Section 4.2 — the node
+// reordering, the sparse inverse triangular factors L^{-1} (by column) and
+// U^{-1} (by row) of W = I - (1-c)A, and the Amax tables — and serves
+// queries with the Section 4.3/4.4 search: a breadth-first tree from the
+// query node, O(1) incremental upper-bound estimation (Definitions 1–2),
+// and safe early termination (Lemmas 1–2, Theorem 2).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kdash/internal/graph"
+	"kdash/internal/lu"
+	"kdash/internal/reorder"
+	"kdash/internal/rwr"
+	"kdash/internal/sparse"
+	"kdash/internal/topk"
+)
+
+// BuildOptions configures index construction.
+type BuildOptions struct {
+	// Restart is the restart probability c. Zero selects the paper's
+	// default 0.95.
+	Restart float64
+	// Reorder selects the node ordering used to keep the inverse factors
+	// sparse. The zero value is reorder.Degree; callers should normally
+	// use reorder.Hybrid, the paper's best performer.
+	Reorder reorder.Method
+	// Seed feeds Louvain and the Random ordering.
+	Seed int64
+	// DropTol, when positive, discards tiny inverse-factor entries. This
+	// breaks the exactness guarantee and exists only for the ablation
+	// study; leave zero for exact search.
+	DropTol float64
+	// Workers bounds goroutines used for factor inversion (0 = all CPUs).
+	Workers int
+}
+
+// BuildStats reports precomputation cost, the quantities behind the
+// paper's Figures 5 and 6.
+type BuildStats struct {
+	Method        reorder.Method
+	ReorderTime   time.Duration
+	FactorizeTime time.Duration
+	InvertTime    time.Duration
+	TotalTime     time.Duration
+	NNZFactors    int // nnz(L) + nnz(U)
+	NNZInverse    int // nnz(L^-1) + nnz(U^-1), Figure 5's numerator
+	Edges         int // m, Figure 5's denominator
+	InverseRatio  float64
+}
+
+// Index is a prebuilt K-dash search structure. It is safe for concurrent
+// queries: all fields are read-only after construction.
+type Index struct {
+	n    int
+	c    float64
+	perm []int // original -> internal
+	inv  []int // internal -> original
+
+	a    *sparse.CSC // reordered column-normalised adjacency
+	linv *sparse.CSC // L^{-1}, by column
+	uinv *sparse.CSR // U^{-1}, by row
+
+	amax    float64   // max element of A
+	amaxCol []float64 // Amax(u): max element of column u of A
+	selfA   []float64 // A_uu, for the c' factor of Definition 1
+
+	stats BuildStats
+}
+
+// BuildIndex precomputes a K-dash index for the graph.
+func BuildIndex(g *graph.Graph, opt BuildOptions) (*Index, error) {
+	if g.N() == 0 {
+		return nil, fmt.Errorf("core: cannot index an empty graph")
+	}
+	c := opt.Restart
+	if c == 0 {
+		c = rwr.DefaultRestart
+	}
+	if c <= 0 || c >= 1 {
+		return nil, fmt.Errorf("core: restart probability %v outside (0,1)", c)
+	}
+	start := time.Now()
+	perm := reorder.Compute(g, opt.Reorder, opt.Seed)
+	reorderTime := time.Since(start)
+
+	a := g.ColumnNormalized().PermuteSym(perm)
+
+	tFac := time.Now()
+	fac, err := lu.Decompose(lu.BuildW(a, c))
+	if err != nil {
+		return nil, fmt.Errorf("core: factorizing W: %w", err)
+	}
+	facTime := time.Since(tFac)
+
+	tInv := time.Now()
+	inverse := fac.Invert(lu.Options{DropTol: opt.DropTol, Workers: opt.Workers})
+	invTime := time.Since(tInv)
+
+	n := g.N()
+	ix := &Index{
+		n:       n,
+		c:       c,
+		perm:    perm,
+		inv:     reorder.Invert(perm),
+		a:       a,
+		linv:    inverse.Linv,
+		uinv:    inverse.Uinv,
+		amax:    a.Max(),
+		amaxCol: a.ColMax(),
+		selfA:   make([]float64, n),
+	}
+	for u := 0; u < n; u++ {
+		ix.selfA[u] = a.At(u, u)
+	}
+	ix.stats = BuildStats{
+		Method:        opt.Reorder,
+		ReorderTime:   reorderTime,
+		FactorizeTime: facTime,
+		InvertTime:    invTime,
+		TotalTime:     time.Since(start),
+		NNZFactors:    fac.NNZL() + fac.NNZU(),
+		NNZInverse:    inverse.NNZ(),
+		Edges:         g.M(),
+	}
+	if g.M() > 0 {
+		ix.stats.InverseRatio = float64(ix.stats.NNZInverse) / float64(g.M())
+	}
+	return ix, nil
+}
+
+// N reports the number of indexed nodes.
+func (ix *Index) N() int { return ix.n }
+
+// Restart reports the restart probability c the index was built with.
+func (ix *Index) Restart() float64 { return ix.c }
+
+// Stats reports precomputation statistics.
+func (ix *Index) Stats() BuildStats { return ix.stats }
+
+// SearchStats reports per-query work, the quantities behind Figures 7
+// and 9.
+type SearchStats struct {
+	Visited               int  // nodes whose estimate was evaluated
+	ProximityComputations int  // exact proximities computed via the factors
+	Terminated            bool // whether pruning stopped the search early
+}
+
+// SearchOptions configures a single query.
+type SearchOptions struct {
+	K int
+	// DisablePruning computes the exact proximity of every reachable node
+	// (the "Without pruning" series of Figure 7).
+	DisablePruning bool
+	// RandomRoot roots the visit order at an arbitrary node instead of
+	// the query (the "Random" series of Figure 9). Estimates fall back to
+	// a layer-free upper bound, so per-node skipping still never discards
+	// an answer, but early termination is impossible.
+	RandomRoot bool
+	// RootSeed picks the random root deterministically.
+	RootSeed int64
+	// Exclude removes nodes (original ids) from the answer set without
+	// affecting the proximity computation — the common "recommend items
+	// the user has not already consumed" filter. Excluded nodes still
+	// participate in the estimation (they may carry proximity mass); they
+	// are only barred from the top-k heap.
+	Exclude map[int]bool
+}
+
+// TopK returns the K nodes with the highest RWR proximity w.r.t. query
+// node q, exactly (Theorem 2). Results use original node ids and are
+// sorted by descending proximity. If fewer than K nodes are reachable
+// from q, only the reachable ones are returned: every other node has
+// proximity exactly zero.
+func (ix *Index) TopK(q, k int) ([]topk.Result, SearchStats, error) {
+	return ix.Search(q, SearchOptions{K: k})
+}
+
+// Search runs a query with full control over the search strategy.
+func (ix *Index) Search(q int, opt SearchOptions) ([]topk.Result, SearchStats, error) {
+	var stats SearchStats
+	if q < 0 || q >= ix.n {
+		return nil, stats, fmt.Errorf("core: query node %d outside [0,%d)", q, ix.n)
+	}
+	if opt.K <= 0 {
+		return nil, stats, fmt.Errorf("core: K must be positive, got %d", opt.K)
+	}
+	qi := ix.perm[q] // internal id
+
+	// L^{-1} e_q scattered into a dense workspace for O(1) lookups while
+	// walking rows of U^{-1}.
+	ws := make([]float64, ix.n)
+	for i := ix.linv.ColPtr[qi]; i < ix.linv.ColPtr[qi+1]; i++ {
+		ws[ix.linv.RowIdx[i]] = ix.linv.Val[i]
+	}
+
+	heap := topk.New(opt.K)
+	excluded := ix.internalExclusions(opt.Exclude)
+
+	if opt.RandomRoot {
+		ix.searchRandomRoot(qi, heap, ws, opt, excluded, &stats)
+	} else {
+		ix.searchTree([]int{qi}, heap, ws, opt, excluded, &stats)
+	}
+
+	results := heap.Results()
+	for i := range results {
+		results[i].Node = ix.inv[results[i].Node]
+	}
+	return results, stats, nil
+}
+
+// internalExclusions converts an original-id exclusion set to internal
+// ids; out-of-range entries are ignored (excluding a nonexistent node is
+// harmless).
+func (ix *Index) internalExclusions(exclude map[int]bool) map[int]bool {
+	if len(exclude) == 0 {
+		return nil
+	}
+	out := make(map[int]bool, len(exclude))
+	for node, on := range exclude {
+		if on && node >= 0 && node < ix.n {
+			out[ix.perm[node]] = true
+		}
+	}
+	return out
+}
+
+// TopKPersonalized generalises TopK to a restart *distribution*: the walk
+// restarts into the given seed nodes with probability proportional to
+// their weights. This is Personalized PageRank in the sense of the
+// paper's footnote 6 (RWR restarts to one node; PPR to a start set). The
+// same factor identity applies — p = c U^{-1} L^{-1} r with r the
+// normalised seed vector — and the tree estimation stays a valid upper
+// bound because a multi-source BFS preserves the layer property Lemmas
+// 1–2 rely on (every in-neighbour of a layer-l node sits on layer >=
+// l-1). Results are exact, as in the single-seed case.
+func (ix *Index) TopKPersonalized(seeds map[int]float64, k int) ([]topk.Result, SearchStats, error) {
+	var stats SearchStats
+	if k <= 0 {
+		return nil, stats, fmt.Errorf("core: K must be positive, got %d", k)
+	}
+	if len(seeds) == 0 {
+		return nil, stats, fmt.Errorf("core: empty seed set")
+	}
+	total := 0.0
+	for node, w := range seeds {
+		if node < 0 || node >= ix.n {
+			return nil, stats, fmt.Errorf("core: seed node %d outside [0,%d)", node, ix.n)
+		}
+		if w <= 0 {
+			return nil, stats, fmt.Errorf("core: seed node %d has non-positive weight %v", node, w)
+		}
+		total += w
+	}
+	// Internal ids, sorted for deterministic visit order.
+	internal := make([]int, 0, len(seeds))
+	weight := make(map[int]float64, len(seeds))
+	for node, w := range seeds {
+		qi := ix.perm[node]
+		internal = append(internal, qi)
+		weight[qi] = w / total
+	}
+	sort.Ints(internal)
+	// Accumulate L^{-1} r into the workspace.
+	ws := make([]float64, ix.n)
+	for _, qi := range internal {
+		wq := weight[qi]
+		for i := ix.linv.ColPtr[qi]; i < ix.linv.ColPtr[qi+1]; i++ {
+			ws[ix.linv.RowIdx[i]] += wq * ix.linv.Val[i]
+		}
+	}
+	heap := topk.New(k)
+	ix.searchTree(internal, heap, ws, SearchOptions{K: k}, nil, &stats)
+	results := heap.Results()
+	for i := range results {
+		results[i].Node = ix.inv[results[i].Node]
+	}
+	return results, stats, nil
+}
+
+// bfs runs breadth-first search over the reordered adjacency structure
+// (out-edges of v are the rows of column v of A).
+func (ix *Index) bfs(root int) (order []int, layer []int) {
+	layer = make([]int, ix.n)
+	for i := range layer {
+		layer[i] = -1
+	}
+	order = make([]int, 0, ix.n)
+	layer[root] = 0
+	order = append(order, root)
+	for head := 0; head < len(order); head++ {
+		v := order[head]
+		for i := ix.a.ColPtr[v]; i < ix.a.ColPtr[v+1]; i++ {
+			u := ix.a.RowIdx[i]
+			if layer[u] < 0 {
+				layer[u] = layer[v] + 1
+				order = append(order, u)
+			}
+		}
+	}
+	return order, layer
+}
+
+// proximity computes p_u = c * (U^{-1} row u) . (L^{-1} e_q) with the
+// latter pre-scattered in ws.
+func (ix *Index) proximity(u int, ws []float64) float64 {
+	s := 0.0
+	for i := ix.uinv.RowPtr[u]; i < ix.uinv.RowPtr[u+1]; i++ {
+		s += ix.uinv.Val[i] * ws[ix.uinv.ColIdx[i]]
+	}
+	return ix.c * s
+}
+
+// cPrime is Definition 1's c' = (1-c) / (1 - A_uu + c*A_uu).
+func (ix *Index) cPrime(u int) float64 {
+	return (1 - ix.c) / (1 - ix.selfA[u] + ix.c*ix.selfA[u])
+}
+
+// searchTree implements Algorithm 4 with the incremental estimation of
+// Definition 2, generalised to one or more roots (all on layer 0 of a
+// multi-source BFS; roots must be sorted ascending). The breadth-first
+// tree is expanded lazily — a node's out-edges are explored only when the
+// node itself is visited — so an early-terminated search costs O(visited
+// nodes + their edges), not O(n + m). The visit order is identical to a
+// fully materialised BFS.
+func (ix *Index) searchTree(roots []int, heap *topk.Heap, ws []float64, opt SearchOptions, excluded map[int]bool, stats *SearchStats) {
+	layer := make([]int, ix.n) // -1 = undiscovered
+	for i := range layer {
+		layer[i] = -1
+	}
+	queue := make([]int, len(roots), 256)
+	copy(queue, roots)
+	for _, r := range roots {
+		layer[r] = 0
+	}
+
+	// Estimation terms (Definition 2): t1 covers selected nodes one layer
+	// above the current node, t2 selected nodes on the same layer, t3 the
+	// unselected remainder bounded by Amax. With no nodes selected yet the
+	// third term is (1 - 0) * Amax, which also reproduces the paper's
+	// u' = q bootstrap case after the first visit.
+	t1, t2, t3 := 0.0, 0.0, ix.amax
+	prev := -1        // previously selected node
+	prevLayer := -1   // its layer
+	var prevP float64 // its exact proximity
+
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		stats.Visited++
+		// Fold the previously selected node into the estimation terms
+		// (Definition 2). This happens for every visit so the terms always
+		// reflect the full selected set Vs, including when the estimate
+		// itself is bypassed for a root below.
+		if prev >= 0 {
+			if layer[u] == prevLayer {
+				t2 += prevP * ix.amaxCol[prev]
+			} else {
+				t1 = t2 + prevP*ix.amaxCol[prev]
+				t2 = 0
+			}
+			t3 -= prevP * ix.amax
+			if t3 < 0 {
+				t3 = 0 // guard against floating-point drift below zero
+			}
+		}
+		var est float64
+		if head < len(roots) {
+			est = 1 // Definition 1: root nodes estimate to 1.
+		} else {
+			est = ix.cPrime(u) * (t1 + t2 + t3)
+		}
+		// Lemma 2: every unvisited node estimates no higher, so the whole
+		// remaining search is safely discarded. The heap-full guard keeps
+		// floating-point noise in a ~zero estimate from truncating the
+		// candidate set before K nodes have been seen.
+		if !opt.DisablePruning && heap.Len() == heap.K() && est < heap.Threshold() {
+			stats.Terminated = true
+			return
+		}
+		p := ix.proximity(u, ws)
+		stats.ProximityComputations++
+		if !excluded[u] {
+			heap.Push(u, p)
+		}
+		prev, prevLayer, prevP = u, layer[u], p
+		// Discover u's out-neighbours (lazy BFS expansion).
+		for i := ix.a.ColPtr[u]; i < ix.a.ColPtr[u+1]; i++ {
+			v := ix.a.RowIdx[i]
+			if layer[v] < 0 {
+				layer[v] = layer[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+}
+
+// searchRandomRoot visits nodes in BFS order from an arbitrary root (then
+// any nodes unreachable from it), using the layer-free upper bound
+//
+//	p̄_u = c' * ( Σ_{v∈Vs} p_v Amax(v) + (1 - Σ_{v∈Vs} p_v) Amax )
+//
+// which is sound for any visit order (the first sum bounds contributions
+// of selected in-neighbours, the second everything else). Early
+// termination is impossible — only per-node skipping — which is exactly
+// why Figure 9 shows the random root needing far more proximity
+// computations.
+func (ix *Index) searchRandomRoot(qi int, heap *topk.Heap, ws []float64, opt SearchOptions, excluded map[int]bool, stats *SearchStats) {
+	root := int((opt.RootSeed%int64(ix.n) + int64(ix.n)) % int64(ix.n))
+	order, layer := ix.bfs(root)
+	// Append nodes unreachable from the random root so no potential
+	// answer is missed.
+	for u := 0; u < ix.n; u++ {
+		if layer[u] < 0 {
+			order = append(order, u)
+		}
+	}
+	var sumPA float64 // Σ p_v * Amax(v) over selected nodes
+	var sumP float64  // Σ p_v over selected nodes
+	for _, u := range order {
+		stats.Visited++
+		var est float64
+		if u == qi {
+			est = 1
+		} else {
+			rem := 1 - sumP
+			if rem < 0 {
+				rem = 0
+			}
+			est = ix.cPrime(u) * (sumPA + rem*ix.amax)
+		}
+		if !opt.DisablePruning && heap.Len() == heap.K() && est < heap.Threshold() {
+			continue // skip this node only; no global termination
+		}
+		p := ix.proximity(u, ws)
+		stats.ProximityComputations++
+		if !excluded[u] {
+			heap.Push(u, p)
+		}
+		sumPA += p * ix.amaxCol[u]
+		sumP += p
+	}
+}
+
+// ProximityVector computes the full exact proximity vector for q through
+// the factors (Equation (3)): p = c U^{-1} L^{-1} e_q. Results are in
+// original node-id order.
+func (ix *Index) ProximityVector(q int) ([]float64, error) {
+	if q < 0 || q >= ix.n {
+		return nil, fmt.Errorf("core: query node %d outside [0,%d)", q, ix.n)
+	}
+	qi := ix.perm[q]
+	ws := make([]float64, ix.n)
+	ix.linv.Col(qi).Scatter(ws)
+	out := make([]float64, ix.n)
+	for u := 0; u < ix.n; u++ {
+		out[ix.inv[u]] = ix.proximity(u, ws)
+	}
+	return out, nil
+}
+
+// Proximity computes the single exact proximity of node u w.r.t. query q.
+func (ix *Index) Proximity(q, u int) (float64, error) {
+	if q < 0 || q >= ix.n || u < 0 || u >= ix.n {
+		return 0, fmt.Errorf("core: node pair (%d,%d) outside [0,%d)", q, u, ix.n)
+	}
+	qi := ix.perm[q]
+	ws := make([]float64, ix.n)
+	ix.linv.Col(qi).Scatter(ws)
+	return ix.proximity(ix.perm[u], ws), nil
+}

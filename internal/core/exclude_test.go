@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/reorder"
+)
+
+func TestExcludeRemovesOnlyExcluded(t *testing.T) {
+	g := gen.PlantedPartition(150, 4, 0.2, 0.01, 1)
+	ix, err := BuildIndex(g, BuildOptions{Reorder: reorder.Hybrid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := 7
+	base, _, err := ix.Search(q, SearchOptions{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exclude the query node and the runner-up.
+	excl := map[int]bool{base[0].Node: true, base[1].Node: true}
+	got, _, err := ix.Search(q, SearchOptions{K: 6, Exclude: excl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if excl[r.Node] {
+			t.Errorf("excluded node %d in results", r.Node)
+		}
+	}
+	// The surviving prefix must match the unexcluded ranking with the two
+	// excluded nodes removed.
+	wide, _, err := ix.Search(q, SearchOptions{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int
+	for _, r := range wide {
+		if !excl[r.Node] {
+			want = append(want, r.Node)
+		}
+	}
+	for i := range got {
+		if got[i].Node != want[i] {
+			t.Errorf("rank %d: got %d, want %d", i, got[i].Node, want[i])
+		}
+	}
+}
+
+func TestExcludeStillExactUnderPruning(t *testing.T) {
+	// Exclusion interacts with the pruning threshold (θ comes only from
+	// non-excluded candidates); the answer must still agree with the
+	// unpruned search.
+	g := gen.BarabasiAlbert(200, 3, 2)
+	ix, err := BuildIndex(g, BuildOptions{Reorder: reorder.Hybrid, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	excl := map[int]bool{}
+	for u := 0; u < 200; u += 3 {
+		excl[u] = true
+	}
+	for _, q := range []int{1, 50, 121} {
+		a, _, err := ix.Search(q, SearchOptions{K: 5, Exclude: excl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := ix.Search(q, SearchOptions{K: 5, Exclude: excl, DisablePruning: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("q=%d: result counts differ (%d vs %d)", q, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("q=%d rank %d: pruned %v vs unpruned %v", q, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestExcludeOutOfRangeIgnored(t *testing.T) {
+	g := gen.ErdosRenyi(30, 120, 3)
+	ix, err := BuildIndex(g, BuildOptions{Reorder: reorder.Degree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ix.Search(0, SearchOptions{K: 3, Exclude: map[int]bool{-5: true, 999: true, 1: false}})
+	if err != nil {
+		t.Fatalf("out-of-range exclusions must be ignored, got %v", err)
+	}
+}

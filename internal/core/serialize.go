@@ -1,0 +1,284 @@
+package core
+
+// Index serialization. Precomputation (reordering + factorization +
+// inversion) is the expensive step of K-dash, so a production deployment
+// builds the index once and ships it to query servers. The format is a
+// versioned little-endian binary layout of the index's arrays; it is not
+// intended to be portable across incompatible versions (the version byte
+// guards that).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"kdash/internal/reorder"
+	"kdash/internal/sparse"
+)
+
+// serialMagic identifies a K-dash index stream.
+const serialMagic = "KDASHIX"
+
+// serialVersion is bumped whenever the layout changes.
+const serialVersion = 1
+
+// Save writes the index in binary form. The BuildStats timings are not
+// persisted (they describe the building machine, not the index); the
+// sparsity counters are.
+func (ix *Index) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(serialMagic); err != nil {
+		return fmt.Errorf("core: writing index header: %w", err)
+	}
+	if err := bw.WriteByte(serialVersion); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeU64 := func(v uint64) error {
+		var buf [8]byte
+		le.PutUint64(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	writeInts := func(xs []int) error {
+		if err := writeU64(uint64(len(xs))); err != nil {
+			return err
+		}
+		for _, x := range xs {
+			if err := writeU64(uint64(x)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	writeFloats := func(xs []float64) error {
+		if err := writeU64(uint64(len(xs))); err != nil {
+			return err
+		}
+		for _, x := range xs {
+			if err := writeU64(math.Float64bits(x)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeU64(uint64(ix.n)); err != nil {
+		return err
+	}
+	if err := writeU64(math.Float64bits(ix.c)); err != nil {
+		return err
+	}
+	if err := writeInts(ix.perm); err != nil {
+		return err
+	}
+	for _, arr := range [][]int{ix.a.ColPtr, ix.a.RowIdx, ix.linv.ColPtr, ix.linv.RowIdx, ix.uinv.RowPtr, ix.uinv.ColIdx} {
+		if err := writeInts(arr); err != nil {
+			return err
+		}
+	}
+	for _, arr := range [][]float64{ix.a.Val, ix.linv.Val, ix.uinv.Val, ix.amaxCol, ix.selfA} {
+		if err := writeFloats(arr); err != nil {
+			return err
+		}
+	}
+	if err := writeU64(math.Float64bits(ix.amax)); err != nil {
+		return err
+	}
+	// Persist the size-describing stats.
+	if err := writeU64(uint64(ix.stats.Method)); err != nil {
+		return err
+	}
+	for _, v := range []int{ix.stats.NNZFactors, ix.stats.NNZInverse, ix.stats.Edges} {
+		if err := writeU64(uint64(v)); err != nil {
+			return err
+		}
+	}
+	if err := writeU64(math.Float64bits(ix.stats.InverseRatio)); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: flushing index: %w", err)
+	}
+	return nil
+}
+
+// LoadIndex reads an index previously written by Save.
+func LoadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(serialMagic)+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("core: reading index header: %w", err)
+	}
+	if string(head[:len(serialMagic)]) != serialMagic {
+		return nil, fmt.Errorf("core: not a K-dash index (bad magic %q)", head[:len(serialMagic)])
+	}
+	if head[len(serialMagic)] != serialVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d (want %d)", head[len(serialMagic)], serialVersion)
+	}
+	le := binary.LittleEndian
+	readU64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint64(buf[:]), nil
+	}
+	// maxLen guards against running away on corrupted length prefixes.
+	const maxLen = 1 << 40
+	readInts := func() ([]int, error) {
+		n, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxLen {
+			return nil, fmt.Errorf("core: corrupt index (array length %d)", n)
+		}
+		out := make([]int, n)
+		for i := range out {
+			v, err := readU64()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = int(v)
+		}
+		return out, nil
+	}
+	readFloats := func() ([]float64, error) {
+		n, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxLen {
+			return nil, fmt.Errorf("core: corrupt index (array length %d)", n)
+		}
+		out := make([]float64, n)
+		for i := range out {
+			v, err := readU64()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = math.Float64frombits(v)
+		}
+		return out, nil
+	}
+	nU, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("core: reading index size: %w", err)
+	}
+	cBits, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{n: int(nU), c: math.Float64frombits(cBits)}
+	if ix.n <= 0 || ix.c <= 0 || ix.c >= 1 {
+		return nil, fmt.Errorf("core: corrupt index (n=%d c=%v)", ix.n, ix.c)
+	}
+	if ix.perm, err = readInts(); err != nil {
+		return nil, err
+	}
+	intArrays := make([][]int, 6)
+	for i := range intArrays {
+		if intArrays[i], err = readInts(); err != nil {
+			return nil, err
+		}
+	}
+	floatArrays := make([][]float64, 5)
+	for i := range floatArrays {
+		if floatArrays[i], err = readFloats(); err != nil {
+			return nil, err
+		}
+	}
+	amaxBits, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	ix.amax = math.Float64frombits(amaxBits)
+	methodU, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	statInts := make([]int, 3)
+	for i := range statInts {
+		v, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		statInts[i] = int(v)
+	}
+	ratioBits, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+
+	ix.a = &sparse.CSC{Rows: ix.n, Cols: ix.n, ColPtr: intArrays[0], RowIdx: intArrays[1], Val: floatArrays[0]}
+	ix.linv = &sparse.CSC{Rows: ix.n, Cols: ix.n, ColPtr: intArrays[2], RowIdx: intArrays[3], Val: floatArrays[1]}
+	ix.uinv = &sparse.CSR{Rows: ix.n, Cols: ix.n, RowPtr: intArrays[4], ColIdx: intArrays[5], Val: floatArrays[2]}
+	ix.amaxCol = floatArrays[3]
+	ix.selfA = floatArrays[4]
+	if err := ix.validateLoaded(); err != nil {
+		return nil, err
+	}
+	ix.inv = make([]int, ix.n)
+	for old, new := range ix.perm {
+		ix.inv[new] = old
+	}
+	ix.stats = BuildStats{
+		Method:       reorder.Method(methodU),
+		NNZFactors:   statInts[0],
+		NNZInverse:   statInts[1],
+		Edges:        statInts[2],
+		InverseRatio: math.Float64frombits(ratioBits),
+	}
+	return ix, nil
+}
+
+// validateLoaded sanity-checks array shapes and index ranges so a corrupt
+// stream fails loudly at load time instead of panicking mid-query.
+func (ix *Index) validateLoaded() error {
+	n := ix.n
+	if len(ix.perm) != n || len(ix.amaxCol) != n || len(ix.selfA) != n {
+		return fmt.Errorf("core: corrupt index (per-node arrays sized %d/%d/%d, want %d)",
+			len(ix.perm), len(ix.amaxCol), len(ix.selfA), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range ix.perm {
+		if p < 0 || p >= n || seen[p] {
+			return fmt.Errorf("core: corrupt index (perm is not a permutation)")
+		}
+		seen[p] = true
+	}
+	checkCSC := func(name string, m *sparse.CSC) error {
+		if len(m.ColPtr) != n+1 || m.ColPtr[0] != 0 || m.ColPtr[n] != len(m.RowIdx) || len(m.RowIdx) != len(m.Val) {
+			return fmt.Errorf("core: corrupt index (%s pointers)", name)
+		}
+		for c := 0; c < n; c++ {
+			if m.ColPtr[c] > m.ColPtr[c+1] {
+				return fmt.Errorf("core: corrupt index (%s column %d)", name, c)
+			}
+		}
+		for _, r := range m.RowIdx {
+			if r < 0 || r >= n {
+				return fmt.Errorf("core: corrupt index (%s row index %d)", name, r)
+			}
+		}
+		return nil
+	}
+	if err := checkCSC("adjacency", ix.a); err != nil {
+		return err
+	}
+	if err := checkCSC("L-inverse", ix.linv); err != nil {
+		return err
+	}
+	u := ix.uinv
+	if len(u.RowPtr) != n+1 || u.RowPtr[0] != 0 || u.RowPtr[n] != len(u.ColIdx) || len(u.ColIdx) != len(u.Val) {
+		return fmt.Errorf("core: corrupt index (U-inverse pointers)")
+	}
+	for _, c := range u.ColIdx {
+		if c < 0 || c >= n {
+			return fmt.Errorf("core: corrupt index (U-inverse column index %d)", c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/reorder"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := gen.PlantedPartition(120, 4, 0.2, 0.01, 1)
+	orig, err := BuildIndex(g, BuildOptions{Reorder: reorder.Hybrid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != orig.N() || loaded.Restart() != orig.Restart() {
+		t.Fatalf("shape changed: n=%d c=%v", loaded.N(), loaded.Restart())
+	}
+	ls, os := loaded.Stats(), orig.Stats()
+	if ls.NNZInverse != os.NNZInverse || ls.Edges != os.Edges || ls.Method != os.Method {
+		t.Errorf("stats changed: %+v vs %+v", ls, os)
+	}
+	// Every query must give byte-identical scores and ordering.
+	for _, q := range []int{0, 33, 77, 119} {
+		a, sa, err := orig.TopK(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, sb, err := loaded.TopK(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("q=%d: result counts differ", q)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("q=%d rank %d: %v vs %v", q, i, a[i], b[i])
+			}
+		}
+		if sa.ProximityComputations != sb.ProximityComputations {
+			t.Errorf("q=%d: search work differs: %d vs %d", q, sa.ProximityComputations, sb.ProximityComputations)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":     "",
+		"bad magic": "NOTANIDX1aaaaaaaaaaaaaaaaaaa",
+		"truncated": "KDASHIX\x01\x05",
+	}
+	for name, in := range cases {
+		if _, err := LoadIndex(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected load error", name)
+		}
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	g := gen.ErdosRenyi(20, 60, 2)
+	ix, err := BuildIndex(g, BuildOptions{Reorder: reorder.Degree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(serialMagic)] = 99 // corrupt the version byte
+	if _, err := LoadIndex(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("expected version error, got %v", err)
+	}
+}
+
+func TestLoadRejectsCorruptPermutation(t *testing.T) {
+	g := gen.ErdosRenyi(30, 90, 3)
+	ix, err := BuildIndex(g, BuildOptions{Reorder: reorder.Degree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// perm starts right after magic+version+n+c+len: flip one perm entry
+	// to a duplicate value.
+	permStart := len(serialMagic) + 1 + 8 + 8 + 8
+	copy(data[permStart:permStart+8], data[permStart+8:permStart+16])
+	if _, err := LoadIndex(bytes.NewReader(data)); err == nil {
+		t.Error("expected corrupt-permutation error")
+	}
+}
+
+func TestLoadRejectsCorruptRestart(t *testing.T) {
+	g := gen.ErdosRenyi(15, 45, 4)
+	ix, err := BuildIndex(g, BuildOptions{Reorder: reorder.Degree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cOff := len(serialMagic) + 1 + 8
+	bad := math.Float64bits(3.5)
+	for i := 0; i < 8; i++ {
+		data[cOff+i] = byte(bad >> (8 * i))
+	}
+	if _, err := LoadIndex(bytes.NewReader(data)); err == nil {
+		t.Error("expected corrupt-restart error")
+	}
+}

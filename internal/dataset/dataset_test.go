@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"testing"
+
+	"kdash/internal/rwr"
+)
+
+func TestAllDatasetsWellFormed(t *testing.T) {
+	for _, d := range All() {
+		if d.Graph.N() < 1000 {
+			t.Errorf("%s: n = %d, want >= 1000", d.Name, d.Graph.N())
+		}
+		if d.Graph.M() < d.Graph.N() {
+			t.Errorf("%s: m = %d below n = %d", d.Name, d.Graph.M(), d.Graph.N())
+		}
+	}
+}
+
+func TestDatasetsDeterministic(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		a, b := Social(), Social()
+		if a.Graph.M() != b.Graph.M() {
+			t.Fatal("Social not deterministic")
+		}
+	}
+	d1, d2 := Dictionary(), Dictionary()
+	if d1.Graph.M() != d2.Graph.M() {
+		t.Fatal("Dictionary not deterministic")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		d, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if d.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, d.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestDictionaryLabels(t *testing.T) {
+	d := Dictionary()
+	if len(d.Labels) != d.Graph.N() {
+		t.Fatalf("labels %d vs nodes %d", len(d.Labels), d.Graph.N())
+	}
+	for _, term := range CaseStudyTerms() {
+		u, err := d.NodeByLabel(term)
+		if err != nil {
+			t.Errorf("case-study term %q missing: %v", term, err)
+			continue
+		}
+		if d.Label(u) != term {
+			t.Errorf("Label(%d) = %q, want %q", u, d.Label(u), term)
+		}
+		if d.Graph.OutDegree(u) == 0 {
+			t.Errorf("case-study term %q has no out-edges", term)
+		}
+	}
+	if _, err := d.NodeByLabel("definitely-not-a-term"); err == nil {
+		t.Error("expected error for unknown label")
+	}
+}
+
+func TestUnlabelledDatasetLabelFallback(t *testing.T) {
+	d := Internet()
+	if got := d.Label(7); got != "node7" {
+		t.Errorf("fallback label = %q", got)
+	}
+}
+
+func TestDictionaryCaseStudyNeighbourhoods(t *testing.T) {
+	// The RWR top-5 for "Microsoft" must be dominated by curated
+	// Microsoft-family terms — the Table 2 property.
+	d := Dictionary()
+	q, err := d.NodeByLabel("Microsoft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rwr.TopK(d.Graph.ColumnNormalized(), q, 5, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	family := map[string]bool{
+		"Microsoft": true, "Microsoft Corporation": true, "MS-DOS": true,
+		"IBM PC": true, "Microsoft Windows": true, "Microsoft Basic": true,
+		"software": true, "operating system": true,
+	}
+	hits := 0
+	for _, r := range rs {
+		if family[d.Label(r.Node)] {
+			hits++
+		}
+	}
+	if hits < 4 {
+		got := make([]string, len(rs))
+		for i, r := range rs {
+			got[i] = d.Label(r.Node)
+		}
+		t.Errorf("only %d/5 Microsoft-family answers: %v", hits, got)
+	}
+}
+
+func TestDegreeSkewPreserved(t *testing.T) {
+	// Internet and Email must have heavy-tailed degree distributions
+	// (their defining structural property).
+	for _, d := range []*Dataset{Internet(), Email()} {
+		maxDeg, sum := 0, 0
+		for u := 0; u < d.Graph.N(); u++ {
+			deg := d.Graph.Degree(u)
+			sum += deg
+			if deg > maxDeg {
+				maxDeg = deg
+			}
+		}
+		avg := float64(sum) / float64(d.Graph.N())
+		if float64(maxDeg) < 10*avg {
+			t.Errorf("%s: max degree %d not heavy-tailed vs avg %.1f", d.Name, maxDeg, avg)
+		}
+	}
+}

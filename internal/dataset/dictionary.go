@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kdash/internal/graph"
+)
+
+// dictionarySize is the total node count of the Dictionary analogue
+// (paper original: 13,356 nodes / 120,238 edges from FOLDOC).
+const dictionarySize = 1200
+
+// dictionaryCommunities is the number of topic clusters among the
+// synthetic filler terms.
+const dictionaryCommunities = 24
+
+// seedTerm describes one curated FOLDOC-style entry: the term and the
+// terms its definition uses (out-edges), mirroring the paper's edge
+// semantics "u -> v iff term v is used to describe term u".
+type seedTerm struct {
+	term string
+	uses []string
+}
+
+// curatedTerms is a hand-built core vocabulary that lets the Table 2 case
+// study (company and operating-system names) run against the synthetic
+// dictionary. The families mirror the paper's qualitative findings:
+// Microsoft terms cluster together, Apple terms cluster together, Linux
+// sits in the free-software neighbourhood, and everything leans on a few
+// hub terms ("operating system", "computer", ...).
+var curatedTerms = []seedTerm{
+	// Hub terms: high in-degree, used by almost everything below.
+	{"computer", []string{"software", "hardware"}},
+	{"software", []string{"computer", "program"}},
+	{"hardware", []string{"computer"}},
+	{"program", []string{"software", "computer"}},
+	{"operating system", []string{"software", "computer", "kernel"}},
+	{"personal computer", []string{"computer", "hardware"}},
+	{"graphical user interface", []string{"software", "user interface"}},
+	{"user interface", []string{"software"}},
+	{"command line", []string{"user interface", "shell"}},
+	{"shell", []string{"command line", "operating system"}},
+	{"kernel", []string{"operating system"}},
+	{"file system", []string{"operating system", "disk"}},
+	{"disk", []string{"hardware"}},
+	{"network", []string{"computer", "protocol"}},
+	{"protocol", []string{"network"}},
+
+	// Microsoft family.
+	{"Microsoft", []string{"Microsoft Corporation", "MS-DOS", "IBM PC", "Microsoft Windows", "software"}},
+	{"Microsoft Corporation", []string{"Microsoft", "software", "MS-DOS"}},
+	{"MS-DOS", []string{"Microsoft", "operating system", "IBM PC", "command line"}},
+	{"IBM PC", []string{"personal computer", "MS-DOS", "Microsoft", "hardware"}},
+	{"Microsoft Windows", []string{"Microsoft", "W2K", "Windows/386", "Windows 3.0", "Windows 3.11", "operating system"}},
+	{"Microsoft Basic", []string{"Microsoft", "program"}},
+	{"W2K", []string{"Microsoft Windows", "operating system"}},
+	{"Windows/386", []string{"Microsoft Windows", "operating system"}},
+	{"Windows 3.0", []string{"Microsoft Windows", "graphical user interface"}},
+	{"Windows 3.11", []string{"Microsoft Windows", "Windows 3.0", "network"}},
+	{"Microsoft Networking", []string{"Microsoft Windows", "network"}},
+
+	// Apple family.
+	{"APPLE", []string{"Apple Computer, Inc.", "Apple II", "Apple Attachment Unit Interface", "personal computer"}},
+	{"Apple Computer, Inc.", []string{"APPLE", "Macintosh", "personal computer"}},
+	{"Apple II", []string{"APPLE", "personal computer", "Apple Computer, Inc."}},
+	{"Apple Attachment Unit Interface", []string{"APPLE", "network", "hardware"}},
+	{"Macintosh", []string{"Apple Computer, Inc.", "personal computer", "Mac OS"}},
+	{"Mac OS", []string{"Macintosh user interface", "Macintosh file system", "Macintosh Operating System", "multitasking", "Macintosh"}},
+	{"Macintosh user interface", []string{"Mac OS", "graphical user interface", "Macintosh"}},
+	{"Macintosh file system", []string{"Mac OS", "file system", "Macintosh"}},
+	{"Macintosh Operating System", []string{"Mac OS", "operating system", "Macintosh"}},
+	{"multitasking", []string{"operating system", "kernel"}},
+
+	// Linux / free-software family.
+	{"Linux", []string{"Linux Documentation Project", "Unix", "lint", "Linux Network Administrators' Guide", "kernel"}},
+	{"Unix", []string{"operating system", "kernel", "shell"}},
+	{"Linux Documentation Project", []string{"Linux", "GNU", "documentation"}},
+	{"Linux Network Administrators' Guide", []string{"Linux", "network", "documentation"}},
+	{"lint", []string{"Unix", "program"}},
+	{"GNU", []string{"free software", "Unix"}},
+	{"free software", []string{"software", "GNU", "open source"}},
+	{"open source", []string{"free software", "software"}},
+	{"documentation", []string{"software"}},
+}
+
+// Dictionary builds the labelled FOLDOC analogue: the curated vocabulary
+// above embedded in a preferential-attachment + topic-community filler so
+// the graph has the original's degree skew and mild clusterability.
+func Dictionary() *Dataset {
+	rng := rand.New(rand.NewSource(1000))
+	n := dictionarySize
+	b := graph.NewBuilder(n)
+	labels := make([]string, n)
+	id := map[string]int{}
+	for i, st := range curatedTerms {
+		labels[i] = st.term
+		id[st.term] = i
+	}
+	for i := len(curatedTerms); i < n; i++ {
+		labels[i] = fmt.Sprintf("term%04d", i)
+	}
+	mustAdd := func(u, v int) {
+		if u != v {
+			if err := b.AddEdge(u, v, 1); err != nil {
+				panic(err)
+			}
+		}
+	}
+	// Curated out-edges.
+	for i, st := range curatedTerms {
+		for _, used := range st.uses {
+			j, ok := id[used]
+			if !ok {
+				panic(fmt.Sprintf("dataset: curated term %q uses unknown term %q", st.term, used))
+			}
+			mustAdd(i, j)
+		}
+	}
+	nSeed := len(curatedTerms)
+	// Hub terms attract filler definitions (by curated index).
+	hubs := []int{0, 1, 3, 4, 5, 6, 13} // computer, software, program, OS, PC, GUI, network
+	community := func(u int) int { return u % dictionaryCommunities }
+	// Filler terms: each definition uses ~8 terms — some same-topic, some
+	// hubs, some random earlier terms (preferential flavour via recency
+	// bias), plus occasional links into the curated families so the case
+	// study sees realistic in-degrees.
+	for u := nSeed; u < n; u++ {
+		outs := map[int]bool{}
+		for len(outs) < 8 {
+			r := rng.Float64()
+			var v int
+			switch {
+			case r < 0.40: // same-topic filler term
+				v = nSeed + community(u-nSeed) + dictionaryCommunities*rng.Intn((n-nSeed)/dictionaryCommunities)
+				if v >= n {
+					continue
+				}
+			case r < 0.65: // hub term
+				v = hubs[rng.Intn(len(hubs))]
+			case r < 0.75: // any curated term
+				v = rng.Intn(nSeed)
+			default: // any term
+				v = rng.Intn(n)
+			}
+			if v != u {
+				outs[v] = true
+			}
+		}
+		for v := range outs {
+			mustAdd(u, v)
+		}
+	}
+	return &Dataset{Name: "Dictionary", Graph: b.Build(), Labels: labels}
+}
+
+// CaseStudyTerms lists the query terms of the paper's Table 2.
+func CaseStudyTerms() []string {
+	return []string{"Microsoft", "APPLE", "Microsoft Windows", "Mac OS", "Linux"}
+}

@@ -1,0 +1,336 @@
+// Package graph provides the directed weighted graph representation shared
+// by every component of the K-dash reproduction: construction, degrees,
+// breadth-first search (tree + layer numbers), the column-normalised
+// adjacency matrix A from the paper's Equation (1), and TSV edge-list I/O.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kdash/internal/sparse"
+)
+
+// Edge is a directed, weighted edge.
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// Graph is an immutable directed weighted graph with nodes 0..n-1.
+// Build one with a Builder or ParseEdgeList.
+type Graph struct {
+	n int
+	// out[u] lists u's out-edges sorted by target; parallel weights in wOut.
+	outPtr []int
+	outTo  []int
+	outW   []float64
+	// in[u] lists u's in-edges sorted by source; built eagerly (cheap).
+	inPtr  []int
+	inFrom []int
+	inW    []float64
+}
+
+// Builder accumulates edges for a Graph. Duplicate (from, to) pairs have
+// their weights summed. Self loops are allowed.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a builder for a graph with n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the directed edge from -> to with the given weight.
+// Weights must be positive: RWR transition probabilities are proportional
+// to edge weights.
+func (b *Builder) AddEdge(from, to int, weight float64) error {
+	if from < 0 || from >= b.n || to < 0 || to >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) outside node range [0,%d)", from, to, b.n)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("graph: edge (%d,%d) has non-positive weight %v", from, to, weight)
+	}
+	b.edges = append(b.edges, Edge{from, to, weight})
+	return nil
+}
+
+// AddUndirected records the edge in both directions with the same weight.
+func (b *Builder) AddUndirected(u, v int, weight float64) error {
+	if err := b.AddEdge(u, v, weight); err != nil {
+		return err
+	}
+	if u != v {
+		return b.AddEdge(v, u, weight)
+	}
+	return nil
+}
+
+// Build produces the immutable Graph, merging duplicate edges.
+func (b *Builder) Build() *Graph {
+	ed := make([]Edge, len(b.edges))
+	copy(ed, b.edges)
+	sort.Slice(ed, func(i, j int) bool {
+		if ed[i].From != ed[j].From {
+			return ed[i].From < ed[j].From
+		}
+		return ed[i].To < ed[j].To
+	})
+	g := &Graph{n: b.n, outPtr: make([]int, b.n+1)}
+	for i := 0; i < len(ed); {
+		j := i
+		w := 0.0
+		for j < len(ed) && ed[j].From == ed[i].From && ed[j].To == ed[i].To {
+			w += ed[j].Weight
+			j++
+		}
+		g.outTo = append(g.outTo, ed[i].To)
+		g.outW = append(g.outW, w)
+		g.outPtr[ed[i].From+1]++
+		i = j
+	}
+	for u := 0; u < b.n; u++ {
+		g.outPtr[u+1] += g.outPtr[u]
+	}
+	g.buildIn()
+	return g
+}
+
+func (g *Graph) buildIn() {
+	g.inPtr = make([]int, g.n+1)
+	g.inFrom = make([]int, len(g.outTo))
+	g.inW = make([]float64, len(g.outTo))
+	for _, to := range g.outTo {
+		g.inPtr[to+1]++
+	}
+	for u := 0; u < g.n; u++ {
+		g.inPtr[u+1] += g.inPtr[u]
+	}
+	next := make([]int, g.n)
+	copy(next, g.inPtr[:g.n])
+	for u := 0; u < g.n; u++ {
+		for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
+			to := g.outTo[i]
+			g.inFrom[next[to]] = u
+			g.inW[next[to]] = g.outW[i]
+			next[to]++
+		}
+	}
+}
+
+// N reports the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M reports the number of (merged) directed edges.
+func (g *Graph) M() int { return len(g.outTo) }
+
+// OutDegree reports the number of out-edges of u.
+func (g *Graph) OutDegree(u int) int { return g.outPtr[u+1] - g.outPtr[u] }
+
+// InDegree reports the number of in-edges of u.
+func (g *Graph) InDegree(u int) int { return g.inPtr[u+1] - g.inPtr[u] }
+
+// Degree reports the number of edges incident to u (in + out), the measure
+// used by the paper's degree reordering.
+func (g *Graph) Degree(u int) int { return g.OutDegree(u) + g.InDegree(u) }
+
+// OutNeighbors invokes fn for every out-edge (u -> to, w) of u.
+func (g *Graph) OutNeighbors(u int, fn func(to int, w float64)) {
+	for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
+		fn(g.outTo[i], g.outW[i])
+	}
+}
+
+// InNeighbors invokes fn for every in-edge (from -> u, w) of u.
+func (g *Graph) InNeighbors(u int, fn func(from int, w float64)) {
+	for i := g.inPtr[u]; i < g.inPtr[u+1]; i++ {
+		fn(g.inFrom[i], g.inW[i])
+	}
+}
+
+// OutWeightSum reports the total weight of u's out-edges.
+func (g *Graph) OutWeightSum(u int) float64 {
+	s := 0.0
+	for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
+		s += g.outW[i]
+	}
+	return s
+}
+
+// Edges returns a copy of all directed edges.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.M())
+	for u := 0; u < g.n; u++ {
+		for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
+			out = append(out, Edge{u, g.outTo[i], g.outW[i]})
+		}
+	}
+	return out
+}
+
+// ColumnNormalized returns the paper's matrix A in CSC form:
+// A[u][v] = w(v->u) / sum of v's out-weights, i.e. column v holds the
+// transition probabilities out of node v. Nodes with no out-edges yield an
+// all-zero column (the walk can only restart from them), which keeps
+// W = I - (1-c)A nonsingular.
+func (g *Graph) ColumnNormalized() *sparse.CSC {
+	m := &sparse.CSC{Rows: g.n, Cols: g.n, ColPtr: make([]int, g.n+1)}
+	m.RowIdx = make([]int, 0, g.M())
+	m.Val = make([]float64, 0, g.M())
+	for v := 0; v < g.n; v++ {
+		total := g.OutWeightSum(v)
+		if total > 0 {
+			// Column v = out-edges of v; row indices must be sorted.
+			type e struct {
+				to int
+				w  float64
+			}
+			es := make([]e, 0, g.OutDegree(v))
+			for i := g.outPtr[v]; i < g.outPtr[v+1]; i++ {
+				es = append(es, e{g.outTo[i], g.outW[i]})
+			}
+			sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+			for _, x := range es {
+				m.RowIdx = append(m.RowIdx, x.to)
+				m.Val = append(m.Val, x.w/total)
+			}
+		}
+		m.ColPtr[v+1] = len(m.RowIdx)
+	}
+	return m
+}
+
+// BFSResult describes a breadth-first search tree: the visit order and the
+// layer number of every node (-1 for unreachable nodes).
+type BFSResult struct {
+	Order []int // nodes in visit order; Order[0] is the root
+	Layer []int // Layer[u] = hops from root, or -1 if unreachable
+}
+
+// BFS runs a breadth-first search from root following out-edges (the
+// direction in which random-walk probability flows). Neighbours at equal
+// depth are visited in ascending node order for determinism.
+func (g *Graph) BFS(root int) *BFSResult {
+	if root < 0 || root >= g.n {
+		panic(fmt.Sprintf("graph: BFS root %d outside [0,%d)", root, g.n))
+	}
+	res := &BFSResult{Order: make([]int, 0, g.n), Layer: make([]int, g.n)}
+	for i := range res.Layer {
+		res.Layer[i] = -1
+	}
+	res.Layer[root] = 0
+	res.Order = append(res.Order, root)
+	for head := 0; head < len(res.Order); head++ {
+		u := res.Order[head]
+		for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
+			v := g.outTo[i]
+			if res.Layer[v] < 0 {
+				res.Layer[v] = res.Layer[u] + 1
+				res.Order = append(res.Order, v)
+			}
+		}
+	}
+	return res
+}
+
+// Relabel returns a copy of the graph with node u renamed to perm[u].
+func (g *Graph) Relabel(perm []int) *Graph {
+	if len(perm) != g.n {
+		panic("graph: Relabel permutation has wrong length")
+	}
+	b := NewBuilder(g.n)
+	for u := 0; u < g.n; u++ {
+		for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
+			if err := b.AddEdge(perm[u], perm[g.outTo[i]], g.outW[i]); err != nil {
+				panic(err) // perm out of range is a programming error
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ParseEdgeList reads a whitespace-separated edge list: one edge per line,
+// "from to [weight]". Lines starting with '#' or '%' and blank lines are
+// skipped. Node IDs must be non-negative integers; n is inferred as
+// 1 + max node id unless minNodes is larger.
+func ParseEdgeList(r io.Reader, minNodes int) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var edges []Edge
+	maxID := minNodes - 1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'from to [weight]', got %q", line, text)
+		}
+		from, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source id %q: %v", line, fields[0], err)
+		}
+		to, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad target id %q: %v", line, fields[1], err)
+		}
+		if from < 0 || to < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative node id", line)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q: %v", line, fields[2], err)
+			}
+			if w <= 0 {
+				return nil, fmt.Errorf("graph: line %d: non-positive weight %v", line, w)
+			}
+		}
+		edges = append(edges, Edge{from, to, w})
+		if from > maxID {
+			maxID = from
+		}
+		if to > maxID {
+			maxID = to
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %v", err)
+	}
+	b := NewBuilder(maxID + 1)
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To, e.Weight); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList serialises the graph as "from\tto\tweight" lines.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.n, g.M()); err != nil {
+		return err
+	}
+	for u := 0; u < g.n; u++ {
+		for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
+			if _, err := fmt.Fprintf(bw, "%d\t%d\t%g\n", u, g.outTo[i], g.outW[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,357 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustEdge(t *testing.T, b *Builder, from, to int, w float64) {
+	t.Helper()
+	if err := b.AddEdge(from, to, w); err != nil {
+		t.Fatalf("AddEdge(%d,%d,%v): %v", from, to, w, err)
+	}
+}
+
+func lineGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		mustEdge(t, b, i, i+1, 1)
+	}
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(3)
+	mustEdge(t, b, 0, 1, 2)
+	mustEdge(t, b, 1, 2, 1)
+	mustEdge(t, b, 0, 1, 3) // duplicate, weights sum
+	g := b.Build()
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d, want 3, 2", g.N(), g.M())
+	}
+	var gotW float64
+	g.OutNeighbors(0, func(to int, w float64) {
+		if to == 1 {
+			gotW = w
+		}
+	})
+	if gotW != 5 {
+		t.Errorf("merged weight = %v, want 5", gotW)
+	}
+	if g.OutDegree(0) != 1 || g.InDegree(1) != 1 || g.Degree(1) != 2 {
+		t.Errorf("degrees wrong: out0=%d in1=%d deg1=%d", g.OutDegree(0), g.InDegree(1), g.Degree(1))
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 2, 1); err == nil {
+		t.Error("expected error for out-of-range target")
+	}
+	if err := b.AddEdge(-1, 0, 1); err == nil {
+		t.Error("expected error for negative source")
+	}
+	if err := b.AddEdge(0, 1, 0); err == nil {
+		t.Error("expected error for zero weight")
+	}
+	if err := b.AddEdge(0, 1, -2); err == nil {
+		t.Error("expected error for negative weight")
+	}
+}
+
+func TestAddUndirected(t *testing.T) {
+	b := NewBuilder(3)
+	if err := b.AddUndirected(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddUndirected(2, 2, 1); err != nil { // self loop added once
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if g.M() != 3 {
+		t.Fatalf("m = %d, want 3 (two directions + one self loop)", g.M())
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.N() != 0 || g.M() != 0 {
+		t.Errorf("empty graph n=%d m=%d", g.N(), g.M())
+	}
+	g2 := NewBuilder(5).Build() // nodes, no edges
+	if g2.M() != 0 {
+		t.Errorf("edgeless graph m=%d", g2.M())
+	}
+	a := g2.ColumnNormalized()
+	if a.NNZ() != 0 {
+		t.Errorf("edgeless adjacency nnz=%d", a.NNZ())
+	}
+}
+
+func TestColumnNormalizedStochastic(t *testing.T) {
+	// Property: each non-empty column of A sums to 1 and entries are the
+	// edge weights divided by the source's out-weight.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n), 0.1+rng.Float64())
+		}
+		g := b.Build()
+		a := g.ColumnNormalized()
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for i := a.ColPtr[v]; i < a.ColPtr[v+1]; i++ {
+				if a.Val[i] <= 0 || a.Val[i] > 1+1e-12 {
+					return false
+				}
+				sum += a.Val[i]
+			}
+			if g.OutDegree(v) == 0 {
+				if sum != 0 {
+					return false
+				}
+			} else if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnNormalizedDangling(t *testing.T) {
+	b := NewBuilder(3)
+	mustEdge(t, b, 0, 1, 1)
+	mustEdge(t, b, 0, 2, 3)
+	g := b.Build() // nodes 1 and 2 dangle
+	a := g.ColumnNormalized()
+	if got := a.At(1, 0); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("A[1][0] = %v, want 0.25", got)
+	}
+	if got := a.At(2, 0); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("A[2][0] = %v, want 0.75", got)
+	}
+	for u := 0; u < 3; u++ {
+		if got := a.At(u, 1); got != 0 {
+			t.Errorf("dangling column should be zero, A[%d][1] = %v", u, got)
+		}
+	}
+}
+
+func TestBFSLayers(t *testing.T) {
+	g := lineGraph(t, 5)
+	res := g.BFS(0)
+	for u := 0; u < 5; u++ {
+		if res.Layer[u] != u {
+			t.Errorf("layer[%d] = %d, want %d", u, res.Layer[u], u)
+		}
+	}
+	if len(res.Order) != 5 || res.Order[0] != 0 {
+		t.Errorf("order = %v", res.Order)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	b := NewBuilder(4)
+	mustEdge(t, b, 0, 1, 1)
+	mustEdge(t, b, 2, 3, 1) // separate component
+	g := b.Build()
+	res := g.BFS(0)
+	if res.Layer[2] != -1 || res.Layer[3] != -1 {
+		t.Errorf("unreachable nodes should have layer -1, got %v", res.Layer)
+	}
+	if len(res.Order) != 2 {
+		t.Errorf("order = %v, want just {0,1}", res.Order)
+	}
+}
+
+func TestBFSDirectionality(t *testing.T) {
+	// Edge 1 -> 0 does not make 1 reachable from 0.
+	b := NewBuilder(2)
+	mustEdge(t, b, 1, 0, 1)
+	g := b.Build()
+	res := g.BFS(0)
+	if res.Layer[1] != -1 {
+		t.Errorf("BFS must follow out-edges only; layer[1] = %d", res.Layer[1])
+	}
+}
+
+func TestBFSLayerMonotoneInOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n), 1)
+		}
+		g := b.Build()
+		res := g.BFS(rng.Intn(n))
+		for i := 1; i < len(res.Order); i++ {
+			if res.Layer[res.Order[i]] < res.Layer[res.Order[i-1]] {
+				return false
+			}
+		}
+		// Every visited non-root node has an in-neighbour one layer up.
+		for _, u := range res.Order[1:] {
+			ok := false
+			g.InNeighbors(u, func(from int, _ float64) {
+				if res.Layer[from] >= 0 && res.Layer[from] == res.Layer[u]-1 {
+					ok = true
+				}
+			})
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	b := NewBuilder(4)
+	mustEdge(t, b, 0, 1, 2)
+	mustEdge(t, b, 1, 2, 3)
+	mustEdge(t, b, 2, 3, 4)
+	g := b.Build()
+	perm := []int{3, 2, 1, 0}
+	h := g.Relabel(perm)
+	if h.M() != g.M() {
+		t.Fatalf("edge count changed: %d vs %d", h.M(), g.M())
+	}
+	found := false
+	h.OutNeighbors(3, func(to int, w float64) {
+		if to == 2 && w == 2 {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("edge 0->1 (w=2) should appear as 3->2 after relabel")
+	}
+}
+
+func TestParseEdgeList(t *testing.T) {
+	input := `# comment
+% another comment
+0 1
+1 2 2.5
+
+3 0 0.5
+`
+	g, err := ParseEdgeList(strings.NewReader(input), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d, want 4, 3", g.N(), g.M())
+	}
+	var w float64
+	g.OutNeighbors(1, func(to int, wt float64) {
+		if to == 2 {
+			w = wt
+		}
+	})
+	if w != 2.5 {
+		t.Errorf("weight = %v, want 2.5", w)
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"one field", "0\n"},
+		{"bad source", "x 1\n"},
+		{"bad target", "1 y\n"},
+		{"negative id", "-1 2\n"},
+		{"bad weight", "0 1 w\n"},
+		{"zero weight", "0 1 0\n"},
+		{"negative weight", "0 1 -3\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseEdgeList(strings.NewReader(tc.in), 0); err == nil {
+			t.Errorf("%s: expected parse error", tc.name)
+		}
+	}
+}
+
+func TestParseEdgeListMinNodes(t *testing.T) {
+	g, err := ParseEdgeList(strings.NewReader("0 1\n"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 10 {
+		t.Errorf("n = %d, want 10 (minNodes)", g.N())
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder(12)
+	for i := 0; i < 40; i++ {
+		b.AddEdge(rng.Intn(12), rng.Intn(12), 1+rng.Float64())
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseEdgeList(&buf, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != g.N() || back.M() != g.M() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d", back.N(), back.M(), g.N(), g.M())
+	}
+	for u := 0; u < g.N(); u++ {
+		want := map[int]float64{}
+		g.OutNeighbors(u, func(to int, w float64) { want[to] = w })
+		back.OutNeighbors(u, func(to int, w float64) {
+			if math.Abs(want[to]-w) > 1e-9 {
+				t.Errorf("edge %d->%d weight %v, want %v", u, to, w, want[to])
+			}
+			delete(want, to)
+		})
+		if len(want) != 0 {
+			t.Errorf("node %d lost edges %v", u, want)
+		}
+	}
+}
+
+func TestEdgesAccessor(t *testing.T) {
+	b := NewBuilder(3)
+	mustEdge(t, b, 0, 1, 1)
+	mustEdge(t, b, 1, 2, 2)
+	g := b.Build()
+	es := g.Edges()
+	if len(es) != 2 {
+		t.Fatalf("len(edges) = %d", len(es))
+	}
+	if es[0] != (Edge{0, 1, 1}) || es[1] != (Edge{1, 2, 2}) {
+		t.Errorf("edges = %v", es)
+	}
+}
+
+func TestOutWeightSum(t *testing.T) {
+	b := NewBuilder(2)
+	mustEdge(t, b, 0, 1, 1.5)
+	mustEdge(t, b, 0, 0, 2.5)
+	g := b.Build()
+	if got := g.OutWeightSum(0); got != 4 {
+		t.Errorf("OutWeightSum(0) = %v, want 4", got)
+	}
+	if got := g.OutWeightSum(1); got != 0 {
+		t.Errorf("OutWeightSum(1) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,241 @@
+// Package louvain implements the Louvain community-detection method of
+// Blondel et al. (2008), which the paper uses for its cluster and hybrid
+// node reorderings. The method greedily maximises modularity in two
+// alternating phases: local node moves and graph aggregation.
+//
+// Directed input graphs are symmetrised (edge weight u~v is the sum of
+// both directions) because modularity is defined on undirected graphs.
+package louvain
+
+import (
+	"math/rand"
+
+	"kdash/internal/graph"
+)
+
+// Result holds a partition of the nodes into communities 0..K-1.
+type Result struct {
+	Community []int   // Community[u] = community id of node u
+	K         int     // number of communities
+	Q         float64 // modularity of the partition
+}
+
+// maxLevels bounds the aggregation recursion; Louvain converges in a
+// handful of levels on all practical graphs.
+const maxLevels = 20
+
+// Partition detects communities on the (symmetrised) graph. The seed
+// controls node visit order in the local-moving phase; any seed gives a
+// valid partition and the same seed gives the same partition.
+func Partition(g *graph.Graph, seed int64) *Result {
+	n := g.N()
+	if n == 0 {
+		return &Result{Community: []int{}, K: 0}
+	}
+	// Symmetrised weighted adjacency lists.
+	adj := symmetrize(g)
+	rng := rand.New(rand.NewSource(seed))
+
+	// assignment[u] tracks u's community in the original node space.
+	assignment := make([]int, n)
+	for i := range assignment {
+		assignment[i] = i
+	}
+
+	level := adj
+	for lv := 0; lv < maxLevels; lv++ {
+		com, moved := localMove(level, rng)
+		com, k := compact(com)
+		// Fold this level's communities into the original assignment.
+		for u := 0; u < n; u++ {
+			assignment[u] = com[assignment[u]]
+		}
+		if !moved || k == len(level.weight) {
+			break
+		}
+		level = aggregate(level, com, k)
+	}
+	com, k := compact(assignment)
+	return &Result{Community: com, K: k, Q: Modularity(g, com)}
+}
+
+// weighted is an undirected weighted multigraph in adjacency-list form.
+type weighted struct {
+	nbr    [][]int
+	w      [][]float64
+	weight []float64 // weighted degree per node (self loops count twice)
+	m2     float64   // total weight * 2
+	self   []float64 // self-loop weight per node
+}
+
+func symmetrize(g *graph.Graph) *weighted {
+	n := g.N()
+	wg := &weighted{
+		nbr:    make([][]int, n),
+		w:      make([][]float64, n),
+		weight: make([]float64, n),
+		self:   make([]float64, n),
+	}
+	// Merge both directions into per-node maps.
+	maps := make([]map[int]float64, n)
+	for u := 0; u < n; u++ {
+		maps[u] = map[int]float64{}
+	}
+	for u := 0; u < n; u++ {
+		g.OutNeighbors(u, func(v int, w float64) {
+			if v == u {
+				wg.self[u] += w
+				return
+			}
+			maps[u][v] += w
+			maps[v][u] += w
+		})
+	}
+	for u := 0; u < n; u++ {
+		for v, w := range maps[u] {
+			wg.nbr[u] = append(wg.nbr[u], v)
+			wg.w[u] = append(wg.w[u], w)
+			wg.weight[u] += w
+		}
+		wg.weight[u] += 2 * wg.self[u]
+		wg.m2 += wg.weight[u]
+	}
+	return wg
+}
+
+// localMove runs modularity-greedy single-node moves until a full pass
+// makes no move. Returns the community assignment and whether any move
+// happened at all.
+func localMove(wg *weighted, rng *rand.Rand) ([]int, bool) {
+	n := len(wg.weight)
+	com := make([]int, n)
+	tot := make([]float64, n) // total weighted degree per community
+	for u := 0; u < n; u++ {
+		com[u] = u
+		tot[u] = wg.weight[u]
+	}
+	if wg.m2 == 0 {
+		return com, false
+	}
+	order := rng.Perm(n)
+	anyMoved := false
+	// neighWeight[c] accumulates edge weight from the current node into
+	// community c during one node's evaluation.
+	neighWeight := map[int]float64{}
+	for pass := 0; pass < 100; pass++ {
+		movedThisPass := false
+		for _, u := range order {
+			cu := com[u]
+			// Weights from u to each neighbouring community.
+			for k := range neighWeight {
+				delete(neighWeight, k)
+			}
+			for i, v := range wg.nbr[u] {
+				neighWeight[com[v]] += wg.w[u][i]
+			}
+			// Remove u from its community.
+			tot[cu] -= wg.weight[u]
+			best, bestGain := cu, neighWeight[cu]-tot[cu]*wg.weight[u]/wg.m2
+			for c, kin := range neighWeight {
+				gain := kin - tot[c]*wg.weight[u]/wg.m2
+				if gain > bestGain+1e-12 || (gain > bestGain-1e-12 && c < best) {
+					best, bestGain = c, gain
+				}
+			}
+			tot[best] += wg.weight[u]
+			if best != cu {
+				com[u] = best
+				movedThisPass = true
+				anyMoved = true
+			}
+		}
+		if !movedThisPass {
+			break
+		}
+	}
+	return com, anyMoved
+}
+
+// compact renumbers community ids to 0..k-1 preserving first-seen order.
+func compact(com []int) ([]int, int) {
+	remap := map[int]int{}
+	out := make([]int, len(com))
+	for i, c := range com {
+		id, ok := remap[c]
+		if !ok {
+			id = len(remap)
+			remap[c] = id
+		}
+		out[i] = id
+	}
+	return out, len(remap)
+}
+
+// aggregate collapses each community into a single super-node.
+func aggregate(wg *weighted, com []int, k int) *weighted {
+	out := &weighted{
+		nbr:    make([][]int, k),
+		w:      make([][]float64, k),
+		weight: make([]float64, k),
+		self:   make([]float64, k),
+	}
+	maps := make([]map[int]float64, k)
+	for i := range maps {
+		maps[i] = map[int]float64{}
+	}
+	for u := range wg.weight {
+		cu := com[u]
+		out.self[cu] += wg.self[u]
+		for i, v := range wg.nbr[u] {
+			cv := com[v]
+			if cv == cu {
+				// Each undirected edge appears twice in adjacency lists;
+				// halve to count it once as a self loop.
+				out.self[cu] += wg.w[u][i] / 2
+			} else {
+				maps[cu][cv] += wg.w[u][i]
+			}
+		}
+	}
+	for cu := 0; cu < k; cu++ {
+		for cv, w := range maps[cu] {
+			out.nbr[cu] = append(out.nbr[cu], cv)
+			out.w[cu] = append(out.w[cu], w)
+			out.weight[cu] += w
+		}
+		out.weight[cu] += 2 * out.self[cu]
+		out.m2 += out.weight[cu]
+	}
+	return out
+}
+
+// Modularity computes Newman modularity of a partition on the
+// symmetrised graph: Q = Σ_c [ in_c/m2 - (tot_c/m2)^2 ].
+func Modularity(g *graph.Graph, com []int) float64 {
+	wg := symmetrize(g)
+	if wg.m2 == 0 {
+		return 0
+	}
+	k := 0
+	for _, c := range com {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	in := make([]float64, k)
+	tot := make([]float64, k)
+	for u := range wg.weight {
+		tot[com[u]] += wg.weight[u]
+		in[com[u]] += 2 * wg.self[u]
+		for i, v := range wg.nbr[u] {
+			if com[v] == com[u] {
+				in[com[u]] += wg.w[u][i]
+			}
+		}
+	}
+	q := 0.0
+	for c := 0; c < k; c++ {
+		q += in[c]/wg.m2 - (tot[c]/wg.m2)*(tot[c]/wg.m2)
+	}
+	return q
+}

@@ -1,0 +1,150 @@
+package louvain
+
+import (
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/graph"
+)
+
+func TestTwoCliquesSeparated(t *testing.T) {
+	// Two 5-cliques joined by a single bridge edge must split into two
+	// communities.
+	b := graph.NewBuilder(10)
+	addClique := func(nodes []int) {
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if err := b.AddUndirected(nodes[i], nodes[j], 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	addClique([]int{0, 1, 2, 3, 4})
+	addClique([]int{5, 6, 7, 8, 9})
+	if err := b.AddUndirected(4, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	res := Partition(b.Build(), 1)
+	if res.K != 2 {
+		t.Fatalf("K = %d, want 2 (communities: %v)", res.K, res.Community)
+	}
+	for u := 1; u < 5; u++ {
+		if res.Community[u] != res.Community[0] {
+			t.Errorf("node %d not with clique 1", u)
+		}
+	}
+	for u := 6; u < 10; u++ {
+		if res.Community[u] != res.Community[5] {
+			t.Errorf("node %d not with clique 2", u)
+		}
+	}
+	if res.Community[0] == res.Community[5] {
+		t.Error("cliques merged")
+	}
+	if res.Q < 0.3 {
+		t.Errorf("modularity %v too low", res.Q)
+	}
+}
+
+func TestPlantedPartitionRecovered(t *testing.T) {
+	n, k := 200, 4
+	g := gen.PlantedPartition(n, k, 0.3, 0.005, 2)
+	res := Partition(g, 3)
+	if res.K < 3 || res.K > 8 {
+		t.Errorf("K = %d, want close to the planted 4", res.K)
+	}
+	if res.Q < 0.4 {
+		t.Errorf("modularity %v too low for a strongly clustered graph", res.Q)
+	}
+	// Most same-block pairs should share a community: sample block 0.
+	truth := func(u int) int { return u * k / n }
+	agree, total := 0, 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < u+10 && v < n; v++ {
+			total++
+			if (truth(u) == truth(v)) == (res.Community[u] == res.Community[v]) {
+				agree++
+			}
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.8 {
+		t.Errorf("pairwise agreement with planted partition = %v", frac)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g := gen.PlantedPartition(120, 3, 0.25, 0.01, 5)
+	a := Partition(g, 7)
+	b := Partition(g, 7)
+	if a.K != b.K {
+		t.Fatalf("same seed, different K: %d vs %d", a.K, b.K)
+	}
+	for u := range a.Community {
+		if a.Community[u] != b.Community[u] {
+			t.Fatalf("same seed, node %d differs", u)
+		}
+	}
+}
+
+func TestEmptyAndTrivialGraphs(t *testing.T) {
+	empty := Partition(graph.NewBuilder(0).Build(), 1)
+	if empty.K != 0 {
+		t.Errorf("empty graph K = %d", empty.K)
+	}
+	single := Partition(graph.NewBuilder(1).Build(), 1)
+	if single.K != 1 {
+		t.Errorf("single-node graph K = %d", single.K)
+	}
+	edgeless := Partition(graph.NewBuilder(5).Build(), 1)
+	if edgeless.K != 5 {
+		t.Errorf("edgeless graph K = %d, want 5 singleton communities", edgeless.K)
+	}
+}
+
+func TestDirectedGraphSymmetrised(t *testing.T) {
+	// Directed two-cycle communities still detected via symmetrisation.
+	b := graph.NewBuilder(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := Partition(b.Build(), 1)
+	if res.Community[0] != res.Community[1] || res.Community[1] != res.Community[2] {
+		t.Errorf("first triangle split: %v", res.Community)
+	}
+	if res.Community[3] != res.Community[4] || res.Community[4] != res.Community[5] {
+		t.Errorf("second triangle split: %v", res.Community)
+	}
+}
+
+func TestModularityBounds(t *testing.T) {
+	g := gen.PlantedPartition(100, 2, 0.3, 0.01, 9)
+	res := Partition(g, 1)
+	if res.Q < -0.5 || res.Q > 1 {
+		t.Errorf("modularity %v outside [-0.5, 1]", res.Q)
+	}
+	// All-in-one partition has lower modularity than the detected one.
+	allOne := make([]int, g.N())
+	if q1 := Modularity(g, allOne); q1 >= res.Q {
+		t.Errorf("trivial partition Q=%v should be below detected Q=%v", q1, res.Q)
+	}
+}
+
+func TestSelfLoopsHandled(t *testing.T) {
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddUndirected(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddUndirected(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	res := Partition(b.Build(), 1)
+	if len(res.Community) != 3 {
+		t.Fatalf("community slice wrong length: %v", res.Community)
+	}
+}

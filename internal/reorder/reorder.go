@@ -1,0 +1,192 @@
+// Package reorder implements the paper's three approximation solutions to
+// the (NP-complete) inverse matrices problem — degree, cluster, and hybrid
+// reordering (Algorithms 1–3) — plus the random baseline used in Figures
+// 5, 6 and 9.
+//
+// A reordering is a permutation perm with perm[old] = new: node `old` of
+// the input graph becomes node `perm[old]` of the reordered graph. The
+// goal of each method is to concentrate non-zeros of the column-normalised
+// adjacency A away from the upper-left, which keeps the triangular inverse
+// factors of W = I - (1-c)A sparse (Section 4.2.2 of the paper).
+package reorder
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"kdash/internal/graph"
+	"kdash/internal/louvain"
+)
+
+// Method selects a reordering strategy.
+type Method int
+
+const (
+	// Degree arranges nodes in ascending order of (in+out) degree.
+	Degree Method = iota
+	// Cluster groups nodes by Louvain community, moving nodes with
+	// cross-partition edges into a final border partition.
+	Cluster
+	// Hybrid applies Cluster and then sorts within each partition by
+	// ascending degree. This is the paper's default (best) choice.
+	Hybrid
+	// Random is the baseline strawman ordering.
+	Random
+	// Natural keeps the input order (useful for debugging/ablation).
+	Natural
+)
+
+// String returns the method name as used in the paper's figures.
+func (m Method) String() string {
+	switch m {
+	case Degree:
+		return "Degree"
+	case Cluster:
+		return "Cluster"
+	case Hybrid:
+		return "Hybrid"
+	case Random:
+		return "Random"
+	case Natural:
+		return "Natural"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Methods lists the strategies compared in Figures 5 and 6.
+var Methods = []Method{Degree, Cluster, Hybrid, Random}
+
+// Compute returns the permutation (perm[old] = new) for the chosen method.
+// The seed feeds Louvain's visit order and the Random method; the same
+// seed always gives the same permutation.
+func Compute(g *graph.Graph, m Method, seed int64) []int {
+	switch m {
+	case Degree:
+		return degreeOrder(g)
+	case Cluster:
+		return clusterOrder(g, seed, false)
+	case Hybrid:
+		return clusterOrder(g, seed, true)
+	case Random:
+		return randomOrder(g.N(), seed)
+	case Natural:
+		perm := make([]int, g.N())
+		for i := range perm {
+			perm[i] = i
+		}
+		return perm
+	default:
+		panic(fmt.Sprintf("reorder: unknown method %d", int(m)))
+	}
+}
+
+// Invert returns the inverse permutation: inv[new] = old.
+func Invert(perm []int) []int {
+	inv := make([]int, len(perm))
+	for old, new := range perm {
+		inv[new] = old
+	}
+	return inv
+}
+
+// degreeOrder implements Algorithm 1: ascending degree, ties by node id.
+func degreeOrder(g *graph.Graph) []int {
+	n := g.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	return positionsToPerm(order)
+}
+
+// clusterOrder implements Algorithm 2 (and, with sortByDegree, Algorithm
+// 3): Louvain partitioning, border extraction into partition κ+1, then
+// concatenation of partitions.
+func clusterOrder(g *graph.Graph, seed int64, sortByDegree bool) []int {
+	n := g.N()
+	res := louvain.Partition(g, seed)
+	part := make([]int, n)
+	copy(part, res.Community)
+	border := res.K // the κ+1-th partition
+	// A node whose edges cross partitions moves to the border partition
+	// (Algorithm 2, lines 3–6). Edge direction is irrelevant here; any
+	// incident cross edge disqualifies the node.
+	isCross := make([]bool, n)
+	for _, e := range g.Edges() {
+		if res.Community[e.From] != res.Community[e.To] {
+			isCross[e.From] = true
+			isCross[e.To] = true
+		}
+	}
+	for u := 0; u < n; u++ {
+		if isCross[u] {
+			part[u] = border
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ua, ub := order[a], order[b]
+		if part[ua] != part[ub] {
+			return part[ua] < part[ub]
+		}
+		if sortByDegree {
+			da, db := g.Degree(ua), g.Degree(ub)
+			if da != db {
+				return da < db
+			}
+		}
+		return ua < ub
+	})
+	return positionsToPerm(order)
+}
+
+func randomOrder(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	// rng.Perm already produces perm[old] = new uniformly.
+	return rng.Perm(n)
+}
+
+// positionsToPerm converts a visit order (order[new] = old) into a
+// permutation (perm[old] = new).
+func positionsToPerm(order []int) []int {
+	perm := make([]int, len(order))
+	for new, old := range order {
+		perm[old] = new
+	}
+	return perm
+}
+
+// PartitionSizes is a helper for tests and diagnostics: it returns the
+// sizes of the Louvain partitions (with border extraction) that cluster
+// and hybrid reordering would use.
+func PartitionSizes(g *graph.Graph, seed int64) []int {
+	res := louvain.Partition(g, seed)
+	counts := make([]int, res.K+1)
+	isCross := make([]bool, g.N())
+	for _, e := range g.Edges() {
+		if res.Community[e.From] != res.Community[e.To] {
+			isCross[e.From] = true
+			isCross[e.To] = true
+		}
+	}
+	for u := 0; u < g.N(); u++ {
+		if isCross[u] {
+			counts[res.K]++
+		} else {
+			counts[res.Community[u]]++
+		}
+	}
+	return counts
+}

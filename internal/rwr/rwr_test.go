@@ -1,0 +1,177 @@
+package rwr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kdash/internal/gen"
+	"kdash/internal/graph"
+)
+
+func buildRandomAdjacency(seed int64, n, m int) (*graph.Graph, int) {
+	g := gen.ErdosRenyi(n, m, seed)
+	return g, n
+}
+
+func TestIterativeSumsBelowOne(t *testing.T) {
+	g := gen.ErdosRenyi(50, 200, 1)
+	a := g.ColumnNormalized()
+	p, iters, err := Iterative(a, 0, 0.95, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters <= 0 {
+		t.Errorf("iters = %d", iters)
+	}
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 {
+			t.Errorf("negative proximity %v", v)
+		}
+		sum += v
+	}
+	// Sum is exactly 1 when there are no dangling nodes reachable; it can
+	// be below 1 when walk mass dies at dangling nodes, never above.
+	if sum > 1+1e-9 {
+		t.Errorf("proximity mass %v > 1", sum)
+	}
+	if p[0] < 0.95 {
+		t.Errorf("query node proximity %v should be at least c", p[0])
+	}
+}
+
+func TestIterativeMatchesDenseSolve(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		g := gen.ErdosRenyi(n, 4*n, seed)
+		a := g.ColumnNormalized()
+		q := rng.Intn(n)
+		c := 0.5 + 0.45*rng.Float64()
+		it, _, err := Iterative(a, q, c, 1e-14, 50000)
+		if err != nil {
+			return false
+		}
+		ds, err := DenseSolve(a, q, c)
+		if err != nil {
+			return false
+		}
+		for i := range it {
+			if math.Abs(it[i]-ds[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIterativeErrors(t *testing.T) {
+	g := gen.ErdosRenyi(10, 30, 2)
+	a := g.ColumnNormalized()
+	if _, _, err := Iterative(a, -1, 0.95, 0, 0); err == nil {
+		t.Error("expected error for negative query")
+	}
+	if _, _, err := Iterative(a, 10, 0.95, 0, 0); err == nil {
+		t.Error("expected error for query >= n")
+	}
+	if _, _, err := Iterative(a, 0, 0, 0, 0); err == nil {
+		t.Error("expected error for c = 0")
+	}
+	if _, _, err := Iterative(a, 0, 1, 0, 0); err == nil {
+		t.Error("expected error for c = 1")
+	}
+}
+
+func TestIterativeNonConvergenceReported(t *testing.T) {
+	g := gen.ErdosRenyi(30, 120, 3)
+	a := g.ColumnNormalized()
+	// One iteration cannot converge to 1e-14 on this graph.
+	_, _, err := Iterative(a, 0, 0.5, 1e-14, 1)
+	if err == nil {
+		t.Error("expected convergence failure with maxIter=1")
+	}
+}
+
+func TestDanglingNodeMass(t *testing.T) {
+	// 0 -> 1, node 1 dangles: p0 = c + small, p1 absorbs then restarts.
+	b := graph.NewBuilder(2)
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	a := b.Build().ColumnNormalized()
+	p, _, err := Iterative(a, 0, 0.95, 1e-14, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed form: p0 = c (walk at 1 dies, only restarts feed 0);
+	// p1 = (1-c) * p0.
+	if math.Abs(p[0]-0.95) > 1e-9 {
+		t.Errorf("p0 = %v, want 0.95", p[0])
+	}
+	if math.Abs(p[1]-0.05*0.95) > 1e-9 {
+		t.Errorf("p1 = %v, want %v", p[1], 0.05*0.95)
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 4)
+	a := g.ColumnNormalized()
+	rs, err := TopK(a, 7, 10, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 10 {
+		t.Fatalf("len = %d", len(rs))
+	}
+	if rs[0].Node != 7 {
+		t.Errorf("query node should rank first, got %d", rs[0].Node)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Score > rs[i-1].Score {
+			t.Errorf("results not sorted at %d", i)
+		}
+	}
+}
+
+func TestUnreachableNodesZero(t *testing.T) {
+	b := graph.NewBuilder(4)
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	a := b.Build().ColumnNormalized()
+	p, _, err := Iterative(a, 0, 0.9, 1e-14, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[2] != 0 || p[3] != 0 {
+		t.Errorf("unreachable nodes must have zero proximity: %v", p)
+	}
+}
+
+func TestDenseSolveSingularGuard(t *testing.T) {
+	// DenseSolve on a well-posed W never reports singular; exercise the
+	// happy path with dangling nodes present.
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	a := b.Build().ColumnNormalized()
+	p, err := DenseSolve(a, 0, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-0.95) > 1e-12 {
+		t.Errorf("p0 = %v", p[0])
+	}
+}

@@ -1,0 +1,113 @@
+package rwr
+
+import (
+	"math"
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/sparse"
+)
+
+func TestIterativeVecSingleSeedMatchesIterative(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 3, 1)
+	a := g.ColumnNormalized()
+	restart := make([]float64, a.Rows)
+	restart[11] = 1
+	pv, _, err := IterativeVec(a, restart, 0.9, 1e-14, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, _, err := Iterative(a, 11, 0.9, 1e-14, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pv {
+		if math.Abs(pv[i]-ps[i]) > 1e-10 {
+			t.Fatalf("p[%d]: vec %v vs single %v", i, pv[i], ps[i])
+		}
+	}
+}
+
+func TestIterativeVecMixtureIsLinear(t *testing.T) {
+	// PPR over a mixture equals the mixture of single-seed PPRs — the
+	// linearity that also justifies K-dash's personalized extension.
+	g := gen.ErdosRenyi(60, 300, 2)
+	a := g.ColumnNormalized()
+	restart := make([]float64, a.Rows)
+	restart[3], restart[40] = 0.25, 0.75
+	mix, _, err := IterativeVec(a, restart, 0.95, 1e-14, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, _, err := Iterative(a, 3, 0.95, 1e-14, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p40, _, err := Iterative(a, 40, 0.95, 1e-14, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mix {
+		want := 0.25*p3[i] + 0.75*p40[i]
+		if math.Abs(mix[i]-want) > 1e-9 {
+			t.Fatalf("p[%d]: mixture %v vs linear combination %v", i, mix[i], want)
+		}
+	}
+}
+
+func TestIterativeVecValidation(t *testing.T) {
+	g := gen.ErdosRenyi(10, 40, 3)
+	a := g.ColumnNormalized()
+	good := make([]float64, 10)
+	good[0] = 1
+	if _, _, err := IterativeVec(a, good[:5], 0.9, 0, 0); err == nil {
+		t.Error("expected length error")
+	}
+	bad := make([]float64, 10)
+	bad[0], bad[1] = 1, -0.5
+	if _, _, err := IterativeVec(a, bad, 0.9, 0, 0); err == nil {
+		t.Error("expected negative-entry error")
+	}
+	half := make([]float64, 10)
+	half[0] = 0.5
+	if _, _, err := IterativeVec(a, half, 0.9, 0, 0); err == nil {
+		t.Error("expected sum error")
+	}
+	if _, _, err := IterativeVec(a, good, 0, 0, 0); err == nil {
+		t.Error("expected restart-probability error")
+	}
+	rect := sparse.NewCOO(3, 4).ToCSC()
+	if _, _, err := IterativeVec(rect, good[:4], 0.9, 0, 0); err == nil {
+		t.Error("expected square-matrix error")
+	}
+	if _, _, err := IterativeVec(a, good, 0.5, 1e-14, 1); err == nil {
+		t.Error("expected non-convergence error with maxIter=1")
+	}
+}
+
+func TestDenseSolveValidation(t *testing.T) {
+	g := gen.ErdosRenyi(8, 24, 4)
+	a := g.ColumnNormalized()
+	if _, err := DenseSolve(a, -1, 0.9); err == nil {
+		t.Error("expected query-range error")
+	}
+	if _, err := DenseSolve(a, 8, 0.9); err == nil {
+		t.Error("expected query-range error")
+	}
+	rect := sparse.NewCOO(2, 3).ToCSC()
+	if _, err := DenseSolve(rect, 0, 0.9); err == nil {
+		t.Error("expected square-matrix error")
+	}
+}
+
+func TestDenseSolveSingularDetected(t *testing.T) {
+	// A synthetic "adjacency" with diagonal 2 makes W = I - 0.5*A exactly
+	// singular for c = 0.5 (both constants are exact in binary floating
+	// point, so the pivot is exactly zero).
+	coo := sparse.NewCOO(2, 2)
+	coo.Add(0, 0, 2)
+	coo.Add(1, 1, 2)
+	if _, err := DenseSolve(coo.ToCSC(), 0, 0.5); err == nil {
+		t.Error("expected singular-system error")
+	}
+}

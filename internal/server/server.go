@@ -1,0 +1,217 @@
+// Package server exposes a K-dash index over HTTP, the deployment shape
+// the paper's motivating applications (recommenders, link prediction,
+// image captioning) consume proximity queries in: build or load the index
+// once, then serve exact top-k answers at microsecond latency.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"kdash/internal/core"
+	"kdash/internal/topk"
+)
+
+// Handler serves queries against one index.
+type Handler struct {
+	ix  *core.Index
+	mux *http.ServeMux
+}
+
+// New wraps an index in an http.Handler. The index must not be modified
+// afterwards (indexes are immutable after construction, so this is the
+// natural usage).
+func New(ix *core.Index) *Handler {
+	h := &Handler{ix: ix, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/topk", h.topK)
+	h.mux.HandleFunc("/personalized", h.personalized)
+	h.mux.HandleFunc("/proximity", h.proximity)
+	h.mux.HandleFunc("/healthz", h.health)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// resultJSON is one ranked answer on the wire.
+type resultJSON struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}
+
+// statsJSON reports per-query work on the wire.
+type statsJSON struct {
+	Visited               int  `json:"visited"`
+	ProximityComputations int  `json:"proximityComputations"`
+	Terminated            bool `json:"terminated"`
+}
+
+// topKResponse is the /topk and /personalized payload.
+type topKResponse struct {
+	K       int          `json:"k"`
+	Results []resultJSON `json:"results"`
+	Stats   statsJSON    `json:"stats"`
+}
+
+// topK handles GET /topk?q=<node>&k=<count>[&exclude=1,2,3].
+func (h *Handler) topK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q, err := intParam(r, "q")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	k, err := intParam(r, "k")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opt := core.SearchOptions{K: k}
+	if raw := r.URL.Query().Get("exclude"); raw != "" {
+		opt.Exclude = map[int]bool{}
+		for _, part := range splitComma(raw) {
+			node, err := strconv.Atoi(part)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Sprintf("bad exclude id %q", part))
+				return
+			}
+			opt.Exclude[node] = true
+		}
+	}
+	results, stats, err := h.ix.Search(q, opt)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeResults(w, k, results, stats)
+}
+
+// personalizedRequest is the POST /personalized payload.
+type personalizedRequest struct {
+	Seeds map[string]float64 `json:"seeds"` // node id (string) -> weight
+	K     int                `json:"k"`
+}
+
+// personalized handles POST /personalized with a JSON body.
+func (h *Handler) personalized(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req personalizedRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	seeds := make(map[int]float64, len(req.Seeds))
+	for key, weight := range req.Seeds {
+		node, err := strconv.Atoi(key)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad seed id %q", key))
+			return
+		}
+		seeds[node] = weight
+	}
+	results, stats, err := h.ix.TopKPersonalized(seeds, req.K)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeResults(w, req.K, results, stats)
+}
+
+// proximity handles GET /proximity?q=<node>&u=<node>.
+func (h *Handler) proximity(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q, err := intParam(r, "q")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	u, err := intParam(r, "u")
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, err := h.ix.Proximity(q, u)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, map[string]float64{"proximity": p})
+}
+
+// health handles GET /healthz.
+func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{
+		"status":  "ok",
+		"nodes":   h.ix.N(),
+		"restart": h.ix.Restart(),
+	})
+}
+
+func writeResults(w http.ResponseWriter, k int, results []topk.Result, stats core.SearchStats) {
+	resp := topKResponse{
+		K:       k,
+		Results: make([]resultJSON, len(results)),
+		Stats: statsJSON{
+			Visited:               stats.Visited,
+			ProximityComputations: stats.ProximityComputations,
+			Terminated:            stats.Terminated,
+		},
+	}
+	for i, r := range results {
+		resp.Results[i] = resultJSON{Node: r.Node, Score: r.Score}
+	}
+	writeJSON(w, resp)
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad query parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing sensible left to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,86 @@
+package sparse
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCSCAtMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		m := randomCOO(rng, rows, cols, rng.Intn(40)).ToCSC()
+		d := m.Dense()
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if m.At(r, c) != d[r][c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSCTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomCOO(rng, 8, 11, 30).ToCSC()
+	back := m.Transpose().Transpose()
+	if !reflect.DeepEqual(m.Dense(), back.Dense()) {
+		t.Error("CSC transpose is not an involution")
+	}
+}
+
+func TestMulVecPanicsOnShape(t *testing.T) {
+	m := NewCOO(3, 4).ToCSR()
+	for name, fn := range map[string]func(){
+		"csr": func() { m.MulVec(make([]float64, 3)) },
+		"csc": func() { m.ToCSC().MulVec(make([]float64, 3)) },
+		"to":  func() { m.ToCSC().MulVecTo(make([]float64, 2), make([]float64, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected shape panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPermuteSymRejectsRectangular(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rectangular PermuteSym")
+		}
+	}()
+	NewCOO(2, 3).ToCSC().PermuteSym([]int{0, 1})
+}
+
+func TestNegativeDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	NewCOO(-1, 2)
+}
+
+func TestEmptyMatrixOps(t *testing.T) {
+	m := NewCOO(0, 0).ToCSC()
+	if m.NNZ() != 0 || m.Max() != 0 {
+		t.Errorf("empty matrix nnz=%d max=%v", m.NNZ(), m.Max())
+	}
+	if y := m.MulVec(nil); len(y) != 0 {
+		t.Errorf("empty MulVec = %v", y)
+	}
+	if cm := m.ColMax(); len(cm) != 0 {
+		t.Errorf("empty ColMax = %v", cm)
+	}
+}

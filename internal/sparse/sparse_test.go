@@ -1,0 +1,245 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestCOOToCSRBasic(t *testing.T) {
+	coo := NewCOO(3, 4)
+	coo.Add(0, 1, 2)
+	coo.Add(2, 3, 5)
+	coo.Add(1, 0, -1)
+	m := coo.ToCSR()
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", m.NNZ())
+	}
+	if got := m.At(0, 1); !almostEq(got, 2) {
+		t.Errorf("At(0,1) = %v, want 2", got)
+	}
+	if got := m.At(1, 0); !almostEq(got, -1) {
+		t.Errorf("At(1,0) = %v, want -1", got)
+	}
+	if got := m.At(2, 3); !almostEq(got, 5) {
+		t.Errorf("At(2,3) = %v, want 5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Errorf("At(0,0) = %v, want 0", got)
+	}
+}
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(0, 0, 2.5)
+	coo.Add(1, 1, 4)
+	coo.Add(1, 1, -4) // cancels to zero, must be dropped
+	m := coo.ToCSR()
+	if got := m.At(0, 0); !almostEq(got, 3.5) {
+		t.Errorf("At(0,0) = %v, want 3.5", got)
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("nnz = %d, want 1 (exact-zero entry must be dropped)", m.NNZ())
+	}
+}
+
+func TestCOOBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range entry")
+		}
+	}()
+	NewCOO(2, 2).Add(2, 0, 1)
+}
+
+func randomCOO(rng *rand.Rand, rows, cols, nnz int) *COO {
+	coo := NewCOO(rows, cols)
+	for i := 0; i < nnz; i++ {
+		coo.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64()+0.1)
+	}
+	return coo
+}
+
+func TestCSRCSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		csr := randomCOO(rng, rows, cols, rng.Intn(60)).ToCSR()
+		back := csr.ToCSC().ToCSR()
+		if !reflect.DeepEqual(csr.Dense(), back.Dense()) {
+			t.Fatalf("trial %d: CSR->CSC->CSR changed matrix", trial)
+		}
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		rows, cols := 1+rng.Intn(15), 1+rng.Intn(15)
+		csr := randomCOO(rng, rows, cols, rng.Intn(50)).ToCSR()
+		csc := csr.ToCSC()
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		d := csr.Dense()
+		want := make([]float64, rows)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				want[r] += d[r][c] * x[c]
+			}
+		}
+		for name, got := range map[string][]float64{"csr": csr.MulVec(x), "csc": csc.MulVec(x)} {
+			for r := range want {
+				if math.Abs(got[r]-want[r]) > 1e-9 {
+					t.Fatalf("trial %d %s: y[%d] = %v, want %v", trial, name, r, got[r], want[r])
+				}
+			}
+		}
+		y := make([]float64, rows)
+		csc.MulVecTo(y, x)
+		for r := range want {
+			if math.Abs(y[r]-want[r]) > 1e-9 {
+				t.Fatalf("trial %d MulVecTo: y[%d] = %v, want %v", trial, r, y[r], want[r])
+			}
+		}
+	}
+}
+
+func TestTransposeProperty(t *testing.T) {
+	// (M^T)_{cr} == M_{rc} for random sparse matrices.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		m := randomCOO(rng, rows, cols, rng.Intn(40)).ToCSR()
+		mt := m.Transpose()
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				if !almostEq(m.At(r, c), mt.At(c, r)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteSymRoundTrip(t *testing.T) {
+	// Applying a permutation and then its inverse restores the matrix.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		m := randomCOO(rng, n, n, rng.Intn(3*n)).ToCSC()
+		perm := rng.Perm(n)
+		inv := make([]int, n)
+		for i, p := range perm {
+			inv[p] = i
+		}
+		back := m.PermuteSym(perm).PermuteSym(inv)
+		return reflect.DeepEqual(m.Dense(), back.Dense())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteSymMovesEntries(t *testing.T) {
+	coo := NewCOO(3, 3)
+	coo.Add(0, 1, 7)
+	m := coo.ToCSC()
+	// perm maps 0->2, 1->0, 2->1, so entry (0,1) moves to (2,0).
+	p := m.PermuteSym([]int{2, 0, 1})
+	if got := p.At(2, 0); !almostEq(got, 7) {
+		t.Errorf("permuted entry At(2,0) = %v, want 7", got)
+	}
+	if p.NNZ() != 1 {
+		t.Errorf("nnz = %d, want 1", p.NNZ())
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	x := []float64{1, 2, 3, 4}
+	y := id.MulVec(x)
+	if !reflect.DeepEqual(x, y) {
+		t.Errorf("I*x = %v, want %v", y, x)
+	}
+}
+
+func TestColMaxAndMax(t *testing.T) {
+	coo := NewCOO(3, 3)
+	coo.Add(0, 0, 0.5)
+	coo.Add(1, 0, 0.9)
+	coo.Add(2, 2, 0.3)
+	m := coo.ToCSC()
+	cm := m.ColMax()
+	want := []float64{0.9, 0, 0.3}
+	for i := range want {
+		if !almostEq(cm[i], want[i]) {
+			t.Errorf("ColMax[%d] = %v, want %v", i, cm[i], want[i])
+		}
+	}
+	if !almostEq(m.Max(), 0.9) {
+		t.Errorf("Max = %v, want 0.9", m.Max())
+	}
+}
+
+func TestVectorDot(t *testing.T) {
+	a := &Vector{N: 6, Idx: []int{0, 2, 5}, Val: []float64{1, 2, 3}}
+	b := &Vector{N: 6, Idx: []int{2, 3, 5}, Val: []float64{4, 9, 5}}
+	if got := a.Dot(b); !almostEq(got, 2*4+3*5) {
+		t.Errorf("Dot = %v, want 23", got)
+	}
+	empty := &Vector{N: 6}
+	if got := a.Dot(empty); got != 0 {
+		t.Errorf("Dot with empty = %v, want 0", got)
+	}
+}
+
+func TestVectorScatter(t *testing.T) {
+	a := &Vector{N: 5, Idx: []int{1, 4}, Val: []float64{7, 8}}
+	ws := make([]float64, 5)
+	touched := a.Scatter(ws)
+	if !almostEq(ws[1], 7) || !almostEq(ws[4], 8) {
+		t.Errorf("scatter result %v", ws)
+	}
+	if len(touched) != 2 {
+		t.Errorf("touched = %v", touched)
+	}
+}
+
+func TestColExtract(t *testing.T) {
+	coo := NewCOO(4, 3)
+	coo.Add(1, 2, 5)
+	coo.Add(3, 2, 6)
+	coo.Add(0, 0, 1)
+	m := coo.ToCSC()
+	v := m.Col(2)
+	if !reflect.DeepEqual(v.Idx, []int{1, 3}) {
+		t.Errorf("col idx = %v", v.Idx)
+	}
+	if !almostEq(v.Val[0], 5) || !almostEq(v.Val[1], 6) {
+		t.Errorf("col val = %v", v.Val)
+	}
+	if v2 := m.Col(1); len(v2.Idx) != 0 {
+		t.Errorf("empty column should have no entries, got %v", v2.Idx)
+	}
+}
+
+func TestScale(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(0, 1, 3)
+	m := coo.ToCSC()
+	m.Scale(2)
+	if got := m.At(0, 1); !almostEq(got, 6) {
+		t.Errorf("scaled entry = %v, want 6", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Package topk provides a bounded top-k accumulator for (node, score)
+// pairs, used by every search algorithm in the repository.
+package topk
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Result is one ranked answer.
+type Result struct {
+	Node  int
+	Score float64
+}
+
+// Heap keeps the K largest scores seen so far. The zero value is not
+// usable; construct with New.
+type Heap struct {
+	k     int
+	items minHeap
+}
+
+// New returns a top-k accumulator for k results. k must be positive.
+func New(k int) *Heap {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	return &Heap{k: k}
+}
+
+// K reports the configured capacity.
+func (h *Heap) K() int { return h.k }
+
+// Len reports how many results are currently held (<= K).
+func (h *Heap) Len() int { return len(h.items) }
+
+// Threshold returns the K-th highest score seen so far, or 0 when fewer
+// than K results are held. This is the paper's θ: a new node can only be
+// an answer if its score is above it.
+func (h *Heap) Threshold() float64 {
+	if len(h.items) < h.k {
+		return 0
+	}
+	return h.items[0].Score
+}
+
+// Push offers a result; it is kept only if it beats the current threshold
+// or the heap is not full. Returns true if the set of kept results changed.
+func (h *Heap) Push(node int, score float64) bool {
+	if len(h.items) < h.k {
+		heap.Push(&h.items, Result{node, score})
+		return true
+	}
+	if score > h.items[0].Score || (score == h.items[0].Score && node < h.items[0].Node) {
+		h.items[0] = Result{node, score}
+		heap.Fix(&h.items, 0)
+		return true
+	}
+	return false
+}
+
+// Results returns the kept results sorted by descending score, ties broken
+// by ascending node id for determinism.
+func (h *Heap) Results() []Result {
+	out := make([]Result, len(h.items))
+	copy(out, h.items)
+	SortResults(out)
+	return out
+}
+
+// SortResults orders results by descending score, then ascending node id.
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].Node < rs[j].Node
+	})
+}
+
+// FromVector returns the top-k entries of a dense score vector.
+func FromVector(scores []float64, k int) []Result {
+	h := New(k)
+	for node, s := range scores {
+		h.Push(node, s)
+	}
+	return h.Results()
+}
+
+type minHeap []Result
+
+func (m minHeap) Len() int { return len(m) }
+func (m minHeap) Less(i, j int) bool {
+	if m[i].Score != m[j].Score {
+		return m[i].Score < m[j].Score
+	}
+	// Higher node id is "worse" on ties so eviction is deterministic.
+	return m[i].Node > m[j].Node
+}
+func (m minHeap) Swap(i, j int)       { m[i], m[j] = m[j], m[i] }
+func (m *minHeap) Push(x interface{}) { *m = append(*m, x.(Result)) }
+func (m *minHeap) Pop() interface{} {
+	old := *m
+	n := len(old)
+	x := old[n-1]
+	*m = old[:n-1]
+	return x
+}

@@ -1,0 +1,128 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicTopK(t *testing.T) {
+	h := New(3)
+	for node, s := range []float64{0.1, 0.9, 0.5, 0.7, 0.3} {
+		h.Push(node, s)
+	}
+	rs := h.Results()
+	if len(rs) != 3 {
+		t.Fatalf("len = %d", len(rs))
+	}
+	wantNodes := []int{1, 3, 2}
+	for i, r := range rs {
+		if r.Node != wantNodes[i] {
+			t.Errorf("rank %d = node %d, want %d", i, r.Node, wantNodes[i])
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	h := New(2)
+	if h.Threshold() != 0 {
+		t.Errorf("empty threshold = %v", h.Threshold())
+	}
+	h.Push(0, 0.5)
+	if h.Threshold() != 0 {
+		t.Errorf("partial threshold = %v, want 0", h.Threshold())
+	}
+	h.Push(1, 0.8)
+	if h.Threshold() != 0.5 {
+		t.Errorf("threshold = %v, want 0.5", h.Threshold())
+	}
+	h.Push(2, 0.9)
+	if h.Threshold() != 0.8 {
+		t.Errorf("threshold = %v, want 0.8", h.Threshold())
+	}
+}
+
+func TestPushRejectsBelowThreshold(t *testing.T) {
+	h := New(1)
+	h.Push(0, 1.0)
+	if h.Push(1, 0.5) {
+		t.Error("push below threshold should report no change")
+	}
+	if got := h.Results()[0].Node; got != 0 {
+		t.Errorf("winner = %d", got)
+	}
+}
+
+func TestTieBreakDeterminism(t *testing.T) {
+	h := New(2)
+	h.Push(5, 0.5)
+	h.Push(3, 0.5)
+	h.Push(1, 0.5)
+	rs := h.Results()
+	if rs[0].Node != 1 || rs[1].Node != 3 {
+		t.Errorf("ties should keep lowest node ids: %v", rs)
+	}
+}
+
+func TestAgainstFullSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		k := 1 + rng.Intn(10)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = rng.Float64()
+		}
+		got := FromVector(scores, k)
+		type pair struct {
+			node  int
+			score float64
+		}
+		all := make([]pair, n)
+		for i, s := range scores {
+			all[i] = pair{i, s}
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].score != all[j].score {
+				return all[i].score > all[j].score
+			}
+			return all[i].node < all[j].node
+		})
+		want := all
+		if k < n {
+			want = all[:k]
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Node != want[i].node || got[i].Score != want[i].score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKLargerThanInput(t *testing.T) {
+	rs := FromVector([]float64{0.2, 0.1}, 5)
+	if len(rs) != 2 {
+		t.Fatalf("len = %d, want 2", len(rs))
+	}
+	if rs[0].Node != 0 || rs[1].Node != 1 {
+		t.Errorf("results = %v", rs)
+	}
+}
+
+func TestNewPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,134 @@
+// Package kdash is a Go implementation of K-dash — fast and exact top-k
+// search for Random Walk with Restart proximity — from Fujiwara et al.,
+// "Fast and Exact Top-k Search for Random Walk with Restart", PVLDB 5(5),
+// 2012, together with the baselines the paper evaluates against (the
+// iterative method, NB_LIN/B_LIN, and the Basic Push Algorithm).
+//
+// # Quick start
+//
+//	b := kdash.NewBuilder(4)
+//	b.AddEdge(0, 1, 1)
+//	b.AddEdge(1, 2, 1)
+//	b.AddEdge(2, 0, 1)
+//	b.AddEdge(2, 3, 1)
+//	g := b.Build()
+//
+//	ix, err := kdash.BuildIndex(g, kdash.Options{})
+//	...
+//	results, stats, err := ix.TopK(0, 2)
+//
+// Results carry exact RWR proximities (Theorem 2 of the paper); stats
+// report how much of the graph the estimation-based pruning skipped.
+//
+// Node ids are dense integers 0..n-1; callers keep their own label
+// mapping (see examples/dictionary for a labelled corpus).
+package kdash
+
+import (
+	"io"
+
+	"kdash/internal/core"
+	"kdash/internal/graph"
+	"kdash/internal/reorder"
+	"kdash/internal/rwr"
+	"kdash/internal/topk"
+)
+
+// Graph is a directed weighted graph with nodes 0..n-1.
+type Graph = graph.Graph
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// Edge is one directed weighted edge.
+type Edge = graph.Edge
+
+// Result is one ranked answer: a node and its exact RWR proximity.
+type Result = topk.Result
+
+// Index is a prebuilt K-dash search structure, safe for concurrent
+// queries.
+type Index = core.Index
+
+// Options configures index construction. The zero value selects the
+// paper's defaults: restart probability c = 0.95 and (via DefaultOptions)
+// hybrid reordering.
+type Options = core.BuildOptions
+
+// SearchOptions exposes the evaluation knobs (pruning off, random root)
+// used by the paper's ablation figures.
+type SearchOptions = core.SearchOptions
+
+// SearchStats reports per-query work: nodes visited, exact proximity
+// computations, and whether pruning terminated the search early.
+type SearchStats = core.SearchStats
+
+// BuildStats reports precompute cost and inverse-factor sparsity.
+type BuildStats = core.BuildStats
+
+// ReorderMethod selects the node ordering used to keep the precomputed
+// inverse factors sparse.
+type ReorderMethod = reorder.Method
+
+// Reordering strategies (paper Section 4.2.2 / Algorithms 1-3).
+const (
+	ReorderDegree  = reorder.Degree
+	ReorderCluster = reorder.Cluster
+	ReorderHybrid  = reorder.Hybrid
+	ReorderRandom  = reorder.Random
+	ReorderNatural = reorder.Natural
+)
+
+// DefaultRestart is the paper's restart probability c = 0.95.
+const DefaultRestart = rwr.DefaultRestart
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// DefaultOptions returns the paper's recommended configuration: c = 0.95
+// with hybrid reordering.
+func DefaultOptions() Options {
+	return Options{Restart: DefaultRestart, Reorder: ReorderHybrid}
+}
+
+// BuildIndex precomputes a K-dash index: it reorders the nodes,
+// LU-factorizes W = I - (1-c)A, and inverts the triangular factors into
+// the sparse form queries use. Precomputation is the expensive step;
+// queries afterwards are near-instant.
+func BuildIndex(g *Graph, opt Options) (*Index, error) {
+	return core.BuildIndex(g, opt)
+}
+
+// Load parses a whitespace-separated edge list ("from to [weight]" per
+// line, '#'/'%' comments allowed) into a Graph.
+func Load(r io.Reader) (*Graph, error) {
+	return graph.ParseEdgeList(r, 0)
+}
+
+// LoadIndex reads an index previously written with Index.Save.
+// Precomputation is the expensive step of K-dash, so production
+// deployments build the index once and ship the serialised form to query
+// servers.
+func LoadIndex(r io.Reader) (*Index, error) {
+	return core.LoadIndex(r)
+}
+
+// IterativeTopK computes the exact top-k answer with the classical
+// power-iteration method (the paper's Equation (1)). It is the oracle
+// K-dash is validated against — far slower, same answer.
+func IterativeTopK(g *Graph, q, k int, c float64) ([]Result, error) {
+	if c == 0 {
+		c = DefaultRestart
+	}
+	return rwr.TopK(g.ColumnNormalized(), q, k, c)
+}
+
+// IterativeProximities computes the full exact proximity vector for q by
+// power iteration.
+func IterativeProximities(g *Graph, q int, c float64) ([]float64, error) {
+	if c == 0 {
+		c = DefaultRestart
+	}
+	p, _, err := rwr.Iterative(g.ColumnNormalized(), q, c, rwr.DefaultTol, rwr.DefaultMaxIter)
+	return p, err
+}

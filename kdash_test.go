@@ -1,0 +1,139 @@
+package kdash
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"kdash/internal/gen"
+)
+
+func ringGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		if err := b.AddEdge(i, (i+1)%n, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	g := ringGraph(t, 10)
+	ix, err := BuildIndex(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, stats, err := ix.TopK(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 || rs[0].Node != 0 {
+		t.Fatalf("results = %v", rs)
+	}
+	if stats.Visited == 0 {
+		t.Error("stats not populated")
+	}
+	want, err := IterativeTopK(g, 0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if rs[i].Node != want[i].Node || math.Abs(rs[i].Score-want[i].Score) > 1e-9 {
+			t.Errorf("rank %d: got %v want %v", i, rs[i], want[i])
+		}
+	}
+}
+
+func TestZeroOptionsUsesPaperDefaults(t *testing.T) {
+	g := gen.BarabasiAlbert(60, 2, 1)
+	ix, err := BuildIndex(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Restart() != DefaultRestart {
+		t.Errorf("restart = %v, want %v", ix.Restart(), DefaultRestart)
+	}
+}
+
+func TestLoadAndQuery(t *testing.T) {
+	edgeList := `# tiny triangle with a tail
+0 1
+1 2
+2 0
+2 3 0.5
+`
+	g, err := Load(strings.NewReader(edgeList))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	ix, err := BuildIndex(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, _, err := ix.TopK(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Node != 2 {
+		t.Errorf("query node should rank first: %v", rs)
+	}
+}
+
+func TestIterativeProximitiesSumsToAtMostOne(t *testing.T) {
+	g := gen.ErdosRenyi(50, 200, 2)
+	p, err := IterativeProximities(g, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum > 1+1e-9 {
+		t.Errorf("proximity mass %v", sum)
+	}
+}
+
+func TestSearchOptionsExposed(t *testing.T) {
+	g := gen.PlantedPartition(100, 4, 0.2, 0.01, 3)
+	ix, err := BuildIndex(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, sa, err := ix.Search(5, SearchOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := ix.Search(5, SearchOptions{K: 5, DisablePruning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.ProximityComputations >= sb.ProximityComputations {
+		t.Errorf("pruning should reduce work: %d vs %d", sa.ProximityComputations, sb.ProximityComputations)
+	}
+	if len(a) != len(b) {
+		t.Errorf("answers differ in size: %v vs %v", a, b)
+	}
+	for i := range a {
+		if math.Abs(a[i].Score-b[i].Score) > 1e-10 {
+			t.Errorf("rank %d scores differ: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestBuildStatsExposed(t *testing.T) {
+	g := gen.BarabasiAlbert(80, 2, 4)
+	ix, err := BuildIndex(g, Options{Reorder: ReorderHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st BuildStats = ix.Stats()
+	if st.NNZInverse == 0 || st.Edges != g.M() {
+		t.Errorf("stats = %+v", st)
+	}
+}
