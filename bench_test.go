@@ -19,7 +19,10 @@ import (
 	"kdash/internal/core"
 	"kdash/internal/dataset"
 	"kdash/internal/experiments"
+	"kdash/internal/gen"
+	"kdash/internal/graph"
 	"kdash/internal/reorder"
+	"kdash/internal/shard"
 )
 
 // benchDatasets caches dataset construction across benchmarks.
@@ -270,6 +273,74 @@ func BenchmarkAblationProximityVector(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------
+// Sharded-index benchmarks: partition-parallel build and cross-shard
+// query cost at 1, 4 and 8 shards on a 50k-node clusterable power-law
+// graph (the acceptance scale for the shard subsystem). The 1-shard
+// build is the monolithic baseline and dominates the suite's runtime:
+// its inverse factors carry ~12x the nonzeros of the 8-shard build.
+// ---------------------------------------------------------------------
+
+// benchShardGraph caches the 50k-node graph across the shard benchmarks.
+var benchShardGraph *graph.Graph
+
+func shardBenchGraph() *graph.Graph {
+	if benchShardGraph == nil {
+		benchShardGraph = gen.CommunityOverlay(50000, 3, 512, 0.995, 1)
+	}
+	return benchShardGraph
+}
+
+func BenchmarkShardedBuild(b *testing.B) {
+	g := shardBenchGraph()
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			var nnz int
+			for i := 0; i < b.N; i++ {
+				sx, err := shard.Build(g, shard.Options{Shards: shards, Reorder: reorder.Hybrid, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nnz = sx.Stats().NNZInverse
+			}
+			b.ReportMetric(float64(nnz), "nnz-inverse")
+		})
+	}
+}
+
+// benchShardedIndexes caches built indexes per shard count: the body of
+// a sub-benchmark re-runs while b.N calibrates, and the 1-shard build
+// alone costs ~25s.
+var benchShardedIndexes = map[int]*shard.ShardedIndex{}
+
+func BenchmarkShardedTopK(b *testing.B) {
+	g := shardBenchGraph()
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sx, ok := benchShardedIndexes[shards]
+			if !ok {
+				var err error
+				sx, err = shard.Build(g, shard.Options{Shards: shards, Reorder: reorder.Hybrid, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchShardedIndexes[shards] = sx
+			}
+			n := sx.N()
+			solved := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := sx.TopK((i*997)%n, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+				solved += st.ShardsSolved
+			}
+			b.ReportMetric(float64(solved)/float64(b.N), "shards-solved")
+		})
+	}
 }
 
 // BenchmarkAblationParallelInvert times serial vs parallel triangular

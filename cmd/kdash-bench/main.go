@@ -7,6 +7,7 @@
 //	kdash-bench -exp all            # everything (minutes)
 //	kdash-bench -exp fig2           # one experiment
 //	kdash-bench -exp fig5 -queries 5
+//	kdash-bench -exp shards -shards 1,4,8 -shard-nodes 50000
 //
 // Output is printed as plain tables; EXPERIMENTS.md records a reference
 // run next to the paper's reported trends.
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"kdash/internal/experiments"
@@ -23,12 +25,16 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|all")
-		queries = flag.Int("queries", 10, "query nodes averaged per measurement")
-		seed    = flag.Int64("seed", 1, "workload seed")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|all")
+		queries    = flag.Int("queries", 10, "query nodes averaged per measurement")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		shards     = flag.String("shards", "1,2,4,8", "shard counts for -exp shards")
+		shardNodes = flag.Int("shard-nodes", 0, "graph size for -exp shards (0 = default 50000)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Queries: *queries, Seed: *seed}
+	shardCounts, err := parseInts(*shards)
+	check(err)
+	cfg := experiments.Config{Queries: *queries, Seed: *seed, ShardCounts: shardCounts, ShardGraphN: *shardNodes}
 	want := strings.Split(*exp, ",")
 	run := func(name string) bool {
 		for _, w := range want {
@@ -97,11 +103,34 @@ func main() {
 		check(err)
 		experiments.WriteAblationRows(os.Stdout, rows)
 	}
+	if run("shards") {
+		any = true
+		section("Extension — sharded index: partition-parallel build scaling & cross-shard exactness")
+		rows, err := experiments.ShardScale(cfg)
+		check(err)
+		experiments.WriteShardRows(os.Stdout, rows)
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kdash-bench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad shard count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func section(title string) {

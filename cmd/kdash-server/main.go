@@ -4,14 +4,17 @@
 // Usage:
 //
 //	kdash-server -graph edges.tsv -addr :8080
+//	kdash-server -graph edges.tsv -shards 8 -addr :8080
 //	kdash-server -load-index graph.idx -addr :8080
+//	kdash-server -load-index idxdir -addr :8080    # sharded manifest directory
 //
-// Endpoints:
+// Endpoints (identical for monolithic and sharded indexes):
 //
 //	GET  /topk?q=<node>&k=<count>[&exclude=1,2,3]
 //	POST /personalized   {"seeds":{"3":1,"80":2},"k":5}
 //	GET  /proximity?q=<node>&u=<node>
 //	GET  /healthz
+//	GET  /statz          build stats, per-shard sizes, query counters
 package main
 
 import (
@@ -29,23 +32,33 @@ import (
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "edge-list file to index")
-		loadIdx   = flag.String("load-index", "", "prebuilt index to load instead of building")
+		loadIdx   = flag.String("load-index", "", "prebuilt index to load instead of building (file or sharded directory)")
 		addr      = flag.String("addr", ":8080", "listen address")
 		c         = flag.Float64("c", kdash.DefaultRestart, "restart probability (build mode)")
+		shards    = flag.Int("shards", 1, "partition the index into N shards built in parallel (build mode)")
+		workers   = flag.Int("workers", 0, "worker-pool width for the build (0 = all CPUs)")
 	)
 	flag.Parse()
-	var ix *kdash.Index
+	var engine server.Engine
 	switch {
+	case *loadIdx != "" && kdash.IsShardedIndexDir(*loadIdx):
+		sx, err := kdash.LoadShardedIndex(*loadIdx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine = sx
+		log.Printf("loaded sharded index: %d nodes / %d shards", sx.N(), sx.Shards())
 	case *loadIdx != "":
 		f, err := os.Open(*loadIdx)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ix, err = kdash.LoadIndex(f)
+		ix, err := kdash.LoadIndex(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
+		engine = ix
 		log.Printf("loaded index: %d nodes", ix.N())
 	case *graphPath != "":
 		f, err := os.Open(*graphPath)
@@ -58,13 +71,27 @@ func main() {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		opts := kdash.DefaultOptions()
-		opts.Restart = *c
-		ix, err = kdash.BuildIndex(g, opts)
-		if err != nil {
-			log.Fatal(err)
+		if *shards > 1 {
+			sx, err := kdash.BuildShardedIndex(g, kdash.ShardOptions{
+				Shards: *shards, Restart: *c, Reorder: kdash.ReorderHybrid, Workers: *workers,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			engine = sx
+			log.Printf("built sharded index: %d nodes / %d edges / %d shards in %v",
+				g.N(), g.M(), sx.Shards(), time.Since(start).Round(time.Millisecond))
+		} else {
+			opts := kdash.DefaultOptions()
+			opts.Restart = *c
+			opts.Workers = *workers
+			ix, err := kdash.BuildIndex(g, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			engine = ix
+			log.Printf("built index: %d nodes / %d edges in %v", g.N(), g.M(), time.Since(start).Round(time.Millisecond))
 		}
-		log.Printf("built index: %d nodes / %d edges in %v", g.N(), g.M(), time.Since(start).Round(time.Millisecond))
 	default:
 		fmt.Fprintln(os.Stderr, "kdash-server: need -graph or -load-index")
 		flag.Usage()
@@ -72,7 +99,7 @@ func main() {
 	}
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      server.New(ix),
+		Handler:      server.New(engine),
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 10 * time.Second,
 	}

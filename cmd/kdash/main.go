@@ -4,10 +4,15 @@
 // Usage:
 //
 //	kdash -graph edges.tsv -q 42 -k 10 [-c 0.95] [-reorder hybrid] [-verify]
+//	kdash -graph edges.tsv -shards 8 -save-index idxdir -q 42
+//	kdash -load-index idxdir -q 42
 //
 // The edge list has one "from to [weight]" triple per line; '#' and '%'
-// start comments. With -verify the answer is cross-checked against the
-// iterative method.
+// start comments. With -shards N > 1 the graph is partitioned into N
+// Louvain-balanced shards whose indexes build concurrently; the saved
+// index is then a directory (per-shard files + manifest) instead of a
+// single file, and -load-index auto-detects which form it is given. With
+// -verify the answer is cross-checked against the iterative method.
 package main
 
 import (
@@ -28,9 +33,11 @@ func main() {
 		c         = flag.Float64("c", kdash.DefaultRestart, "restart probability")
 		method    = flag.String("reorder", "hybrid", "node reordering: degree|cluster|hybrid|random|natural")
 		seed      = flag.Int64("seed", 1, "seed for Louvain / random ordering")
+		shards    = flag.Int("shards", 1, "partition the index into N shards built in parallel")
+		workers   = flag.Int("workers", 0, "worker-pool width for the build (0 = all CPUs)")
 		verify    = flag.Bool("verify", false, "cross-check the answer against the iterative method")
-		saveIdx   = flag.String("save-index", "", "write the built index to this path")
-		loadIdx   = flag.String("load-index", "", "load a previously saved index instead of building one")
+		saveIdx   = flag.String("save-index", "", "write the built index to this path (a directory when -shards > 1)")
+		loadIdx   = flag.String("load-index", "", "load a previously saved index (file or sharded directory)")
 	)
 	flag.Parse()
 	if *graphPath == "" && *loadIdx == "" {
@@ -54,8 +61,21 @@ func main() {
 		fmt.Printf("graph: %d nodes, %d edges\n", g.N(), g.M())
 	}
 
+	// Exactly one of ix / sx is set: the monolithic and sharded paths
+	// share every step below through small branches.
 	var ix *kdash.Index
-	if *loadIdx != "" {
+	var sx *kdash.ShardedIndex
+	switch {
+	case *loadIdx != "" && kdash.IsShardedIndexDir(*loadIdx):
+		start := time.Now()
+		var err error
+		sx, err = kdash.LoadShardedIndex(*loadIdx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("index: loaded %d nodes / %d shards from %s in %v\n",
+			sx.N(), sx.Shards(), *loadIdx, time.Since(start).Round(time.Millisecond))
+	case *loadIdx != "":
 		f, err := os.Open(*loadIdx)
 		if err != nil {
 			fatal(err)
@@ -67,13 +87,30 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("index: loaded %d nodes from %s in %v\n", ix.N(), *loadIdx, time.Since(start).Round(time.Millisecond))
-	} else {
+	case *shards > 1:
 		m, err := parseMethod(*method)
 		if err != nil {
 			fatal(err)
 		}
 		start := time.Now()
-		ix, err = kdash.BuildIndex(g, kdash.Options{Restart: *c, Reorder: m, Seed: *seed})
+		sx, err = kdash.BuildShardedIndex(g, kdash.ShardOptions{
+			Shards: *shards, Restart: *c, Reorder: m, Seed: *seed, Workers: *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		st := sx.Stats()
+		fmt.Printf("index: built %d shards in %v (partition %v, shard-cpu %v, cut edges %d = %.1f%% of weight, nnz(inverse)=%d)\n",
+			sx.Shards(), time.Since(start).Round(time.Millisecond),
+			st.PartitionTime.Round(time.Millisecond), st.ShardCPUTime.Round(time.Millisecond),
+			st.CutEdges, 100*st.CutWeightFrac, st.NNZInverse)
+	default:
+		m, err := parseMethod(*method)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		ix, err = kdash.BuildIndex(g, kdash.Options{Restart: *c, Reorder: m, Seed: *seed, Workers: *workers})
 		if err != nil {
 			fatal(err)
 		}
@@ -82,27 +119,46 @@ func main() {
 			time.Since(start).Round(time.Millisecond), st.Method, st.NNZInverse, st.InverseRatio)
 	}
 	if *saveIdx != "" {
-		f, err := os.Create(*saveIdx)
-		if err != nil {
-			fatal(err)
+		if sx != nil {
+			if err := sx.Save(*saveIdx); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("index: saved sharded manifest to %s/\n", *saveIdx)
+		} else {
+			f, err := os.Create(*saveIdx)
+			if err != nil {
+				fatal(err)
+			}
+			if err := ix.Save(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("index: saved to %s\n", *saveIdx)
 		}
-		if err := ix.Save(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("index: saved to %s\n", *saveIdx)
 	}
 
 	qStart := time.Now()
-	results, stats, err := ix.TopK(*query, *k)
-	if err != nil {
-		fatal(err)
+	var results []kdash.Result
+	if sx != nil {
+		rs, stats, err := sx.TopK(*query, *k)
+		if err != nil {
+			fatal(err)
+		}
+		results = rs
+		fmt.Printf("query: node %d, K=%d -> %v (solved %d/%d shards in %d solves, pruned %d)\n",
+			*query, *k, time.Since(qStart), stats.ShardsSolved, sx.Shards(), stats.Solves, stats.ShardsPruned)
+	} else {
+		rs, stats, err := ix.TopK(*query, *k)
+		if err != nil {
+			fatal(err)
+		}
+		results = rs
+		fmt.Printf("query: node %d, K=%d -> %v (visited %d, computed %d proximities, terminated early: %t)\n",
+			*query, *k, time.Since(qStart), stats.Visited, stats.ProximityComputations, stats.Terminated)
 	}
-	fmt.Printf("query: node %d, K=%d -> %v (visited %d, computed %d proximities, terminated early: %t)\n",
-		*query, *k, time.Since(qStart), stats.Visited, stats.ProximityComputations, stats.Terminated)
 	for i, r := range results {
 		fmt.Printf("%3d. node %-8d proximity %.8f\n", i+1, r.Node, r.Score)
 	}

@@ -1,0 +1,3 @@
+module kdash
+
+go 1.24

@@ -448,6 +448,54 @@ func (ix *Index) searchRandomRoot(qi int, heap *topk.Heap, ws []float64, opt Sea
 	}
 }
 
+// Solve computes y = W^{-1} r through the inverted factors, where
+// W = I - (1-c)A is the matrix the index factorized. Input and output are
+// dense vectors in original node-id order; zero entries of r cost nothing
+// in the L^{-1} pass. Unlike the proximity methods, Solve does not apply
+// the restart factor c: it is the raw linear-system primitive that
+// internal/shard's cross-shard block push is built on (each shard solve
+// consumes a residual right-hand side that already carries its scaling).
+func (ix *Index) Solve(r []float64) ([]float64, error) {
+	if len(r) != ix.n {
+		return nil, fmt.Errorf("core: Solve rhs has %d entries, index has %d nodes", len(r), ix.n)
+	}
+	// ws = L^{-1} (P r), accumulated column by column over nonzero rhs
+	// entries.
+	ws := make([]float64, ix.n)
+	for u, v := range r {
+		if v == 0 {
+			continue
+		}
+		qi := ix.perm[u]
+		for i := ix.linv.ColPtr[qi]; i < ix.linv.ColPtr[qi+1]; i++ {
+			ws[ix.linv.RowIdx[i]] += v * ix.linv.Val[i]
+		}
+	}
+	// y = P^T (U^{-1} ws).
+	out := make([]float64, ix.n)
+	for u := 0; u < ix.n; u++ {
+		s := 0.0
+		for i := ix.uinv.RowPtr[u]; i < ix.uinv.RowPtr[u+1]; i++ {
+			s += ix.uinv.Val[i] * ws[ix.uinv.ColIdx[i]]
+		}
+		out[ix.inv[u]] = s
+	}
+	return out, nil
+}
+
+// Statz reports observability fields for the server's /statz endpoint.
+func (ix *Index) Statz() map[string]interface{} {
+	return map[string]interface{}{
+		"kind":         "monolithic",
+		"nodes":        ix.n,
+		"restart":      ix.c,
+		"edges":        ix.stats.Edges,
+		"nnzInverse":   ix.stats.NNZInverse,
+		"inverseRatio": ix.stats.InverseRatio,
+		"reorder":      ix.stats.Method.String(),
+	}
+}
+
 // ProximityVector computes the full exact proximity vector for q through
 // the factors (Equation (3)): p = c U^{-1} L^{-1} e_q. Results are in
 // original node-id order.

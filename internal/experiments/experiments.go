@@ -43,6 +43,11 @@ type Config struct {
 	Hubs []int
 	// K is the answer-set size for precision experiments (paper: 5).
 	K int
+	// ShardCounts is the shard sweep for the sharded-index extension
+	// (default 1, 2, 4, 8).
+	ShardCounts []int
+	// ShardGraphN sizes the generated graph for the shard experiment.
+	ShardGraphN int
 }
 
 func (c Config) withDefaults() Config {

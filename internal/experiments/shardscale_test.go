@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardScaleSmoke runs the shard-scaling experiment on a tiny graph:
+// every shard count must agree with the 1-shard baseline.
+func TestShardScaleSmoke(t *testing.T) {
+	rows, err := ShardScale(Config{Queries: 3, Seed: 1, ShardCounts: []int{1, 3}, ShardGraphN: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Agrees {
+			t.Errorf("shards=%d disagrees with baseline", r.Shards)
+		}
+		if r.Build <= 0 || r.Query <= 0 {
+			t.Errorf("shards=%d has empty timings: %+v", r.Shards, r)
+		}
+	}
+	if rows[1].Shards != 3 {
+		t.Errorf("second row has %d shards, want 3", rows[1].Shards)
+	}
+	var buf strings.Builder
+	WriteShardRows(&buf, rows)
+	if !strings.Contains(buf.String(), "shards") || !strings.Contains(buf.String(), "true") {
+		t.Errorf("shard table formatting: %q", buf.String())
+	}
+}

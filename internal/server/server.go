@@ -1,35 +1,83 @@
 // Package server exposes a K-dash index over HTTP, the deployment shape
 // the paper's motivating applications (recommenders, link prediction,
 // image captioning) consume proximity queries in: build or load the index
-// once, then serve exact top-k answers at microsecond latency.
+// once, then serve exact top-k answers at microsecond latency. Both the
+// monolithic core.Index and the partitioned shard.ShardedIndex plug in
+// behind the same endpoints via the Engine interface.
 package server
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"kdash/internal/core"
 	"kdash/internal/topk"
 )
 
-// Handler serves queries against one index.
-type Handler struct {
-	ix  *core.Index
-	mux *http.ServeMux
+// Engine is the query surface the server needs. *core.Index and
+// *shard.ShardedIndex both satisfy it, so one server binary serves either
+// index shape with unchanged endpoint contracts.
+type Engine interface {
+	N() int
+	Restart() float64
+	Search(q int, opt core.SearchOptions) ([]topk.Result, core.SearchStats, error)
+	TopKPersonalized(seeds map[int]float64, k int) ([]topk.Result, core.SearchStats, error)
+	Proximity(q, u int) (float64, error)
 }
 
-// New wraps an index in an http.Handler. The index must not be modified
+// Statser is implemented by engines that expose build-time observability
+// (shard sizes, factor sparsity, ...) for /statz.
+type Statser interface {
+	Statz() map[string]interface{}
+}
+
+// Handler serves queries against one engine.
+type Handler struct {
+	engine Engine
+	mux    *http.ServeMux
+	start  time.Time
+
+	// Cumulative counters, expvar-backed so they are atomic and cheap on
+	// the hot path. They are per-handler (not globally published): tests
+	// and multi-index processes may hold several handlers.
+	qTopK      expvar.Int
+	qPers      expvar.Int
+	qProx      expvar.Int
+	qErrors    expvar.Int
+	visited    expvar.Int
+	proxComps  expvar.Int
+	terminated expvar.Int
+}
+
+// New wraps an engine in an http.Handler. The engine must not be modified
 // afterwards (indexes are immutable after construction, so this is the
 // natural usage).
-func New(ix *core.Index) *Handler {
-	h := &Handler{ix: ix, mux: http.NewServeMux()}
+func New(engine Engine) *Handler {
+	h := &Handler{engine: engine, mux: http.NewServeMux(), start: time.Now()}
 	h.mux.HandleFunc("/topk", h.topK)
 	h.mux.HandleFunc("/personalized", h.personalized)
 	h.mux.HandleFunc("/proximity", h.proximity)
 	h.mux.HandleFunc("/healthz", h.health)
+	h.mux.HandleFunc("/statz", h.statz)
 	return h
+}
+
+// countQuery folds one query's outcome into the cumulative counters.
+func (h *Handler) countQuery(counter *expvar.Int, stats core.SearchStats, err error) {
+	counter.Add(1)
+	if err != nil {
+		h.qErrors.Add(1)
+		return
+	}
+	h.visited.Add(int64(stats.Visited))
+	h.proxComps.Add(int64(stats.ProximityComputations))
+	if stats.Terminated {
+		h.terminated.Add(1)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -85,7 +133,8 @@ func (h *Handler) topK(w http.ResponseWriter, r *http.Request) {
 			opt.Exclude[node] = true
 		}
 	}
-	results, stats, err := h.ix.Search(q, opt)
+	results, stats, err := h.engine.Search(q, opt)
+	h.countQuery(&h.qTopK, stats, err)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -119,7 +168,8 @@ func (h *Handler) personalized(w http.ResponseWriter, r *http.Request) {
 		}
 		seeds[node] = weight
 	}
-	results, stats, err := h.ix.TopKPersonalized(seeds, req.K)
+	results, stats, err := h.engine.TopKPersonalized(seeds, req.K)
+	h.countQuery(&h.qPers, stats, err)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -143,7 +193,8 @@ func (h *Handler) proximity(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	p, err := h.ix.Proximity(q, u)
+	p, err := h.engine.Proximity(q, u)
+	h.countQuery(&h.qProx, core.SearchStats{}, err)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -155,9 +206,38 @@ func (h *Handler) proximity(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]interface{}{
 		"status":  "ok",
-		"nodes":   h.ix.N(),
-		"restart": h.ix.Restart(),
+		"nodes":   h.engine.N(),
+		"restart": h.engine.Restart(),
 	})
+}
+
+// statz handles GET /statz: cumulative query counters plus whatever
+// build-time observability the engine exposes (per-shard sizes and cut
+// statistics for a sharded index), so operators can watch shard balance
+// and pruning effectiveness in production.
+func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	doc := map[string]interface{}{
+		"uptimeSeconds": time.Since(h.start).Seconds(),
+		"queries": map[string]int64{
+			"topk":         h.qTopK.Value(),
+			"personalized": h.qPers.Value(),
+			"proximity":    h.qProx.Value(),
+			"errors":       h.qErrors.Value(),
+		},
+		"work": map[string]int64{
+			"visited":               h.visited.Value(),
+			"proximityComputations": h.proxComps.Value(),
+			"terminatedEarly":       h.terminated.Value(),
+		},
+	}
+	if s, ok := h.engine.(Statser); ok {
+		doc["index"] = s.Statz()
+	}
+	writeJSON(w, doc)
 }
 
 func writeResults(w http.ResponseWriter, k int, results []topk.Result, stats core.SearchStats) {

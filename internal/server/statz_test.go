@@ -1,0 +1,144 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/reorder"
+	"kdash/internal/shard"
+)
+
+func shardedHandler(t *testing.T) (*Handler, *shard.ShardedIndex) {
+	t.Helper()
+	g := gen.PlantedPartition(120, 4, 0.2, 0.01, 1)
+	sx, err := shard.Build(g, shard.Options{Shards: 4, Reorder: reorder.Hybrid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sx), sx
+}
+
+// TestShardedEngineEndpoints checks a ShardedIndex serves the same
+// endpoint contracts as the monolithic index and agrees with it.
+func TestShardedEngineEndpoints(t *testing.T) {
+	hs, sx := shardedHandler(t)
+	hm, ix := testHandler(t) // same graph, same seed
+
+	for _, url := range []string{"/topk?q=7&k=5", "/topk?q=0&k=3&exclude=1,2"} {
+		recS, _ := get(t, hs, url)
+		recM, _ := get(t, hm, url)
+		if recS.Code != http.StatusOK || recM.Code != http.StatusOK {
+			t.Fatalf("%s: sharded %d, monolithic %d", url, recS.Code, recM.Code)
+		}
+		var respS, respM struct {
+			Results []struct {
+				Node  int     `json:"node"`
+				Score float64 `json:"score"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(recS.Body.Bytes(), &respS); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(recM.Body.Bytes(), &respM); err != nil {
+			t.Fatal(err)
+		}
+		if len(respS.Results) != len(respM.Results) {
+			t.Fatalf("%s: %d vs %d results", url, len(respS.Results), len(respM.Results))
+		}
+		for i := range respS.Results {
+			if respS.Results[i].Node != respM.Results[i].Node ||
+				math.Abs(respS.Results[i].Score-respM.Results[i].Score) > 1e-9 {
+				t.Errorf("%s result %d: sharded %+v, monolithic %+v", url, i, respS.Results[i], respM.Results[i])
+			}
+		}
+	}
+
+	// /proximity must agree too.
+	p1, err := sx.Proximity(7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ix.Proximity(7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-p2) > 1e-9 {
+		t.Errorf("proximity: sharded %g, monolithic %g", p1, p2)
+	}
+}
+
+// TestStatzEndpoint checks counters accumulate and the sharded engine's
+// per-shard observability comes through.
+func TestStatzEndpoint(t *testing.T) {
+	h, sx := shardedHandler(t)
+	for i := 0; i < 3; i++ {
+		get(t, h, "/topk?q=7&k=5")
+	}
+	get(t, h, "/proximity?q=1&u=2")
+	get(t, h, "/topk?q=99999&k=5") // reaches the engine, fails, counts as an error
+
+	rec, _ := get(t, h, "/statz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Queries struct {
+			TopK      int64 `json:"topk"`
+			Proximity int64 `json:"proximity"`
+			Errors    int64 `json:"errors"`
+		} `json:"queries"`
+		Work struct {
+			Visited int64 `json:"visited"`
+		} `json:"work"`
+		Index struct {
+			Kind     string `json:"kind"`
+			Shards   int    `json:"shards"`
+			PerShard []struct {
+				Nodes int `json:"nodes"`
+			} `json:"perShard"`
+		} `json:"index"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad /statz JSON: %v (%s)", err, rec.Body.String())
+	}
+	if resp.Queries.TopK != 4 {
+		t.Errorf("topk counter = %d, want 4", resp.Queries.TopK)
+	}
+	if resp.Queries.Errors != 1 {
+		t.Errorf("error counter = %d, want 1", resp.Queries.Errors)
+	}
+	if resp.Queries.Proximity != 1 {
+		t.Errorf("proximity counter = %d, want 1", resp.Queries.Proximity)
+	}
+	if resp.Work.Visited == 0 {
+		t.Error("visited counter never advanced")
+	}
+	if resp.Index.Kind != "sharded" || resp.Index.Shards != sx.Shards() {
+		t.Errorf("index stats = %+v, want sharded/%d", resp.Index, sx.Shards())
+	}
+	total := 0
+	for _, s := range resp.Index.PerShard {
+		total += s.Nodes
+	}
+	if total != sx.N() {
+		t.Errorf("per-shard sizes sum to %d, want %d", total, sx.N())
+	}
+
+	// The monolithic engine reports its own kind.
+	hm, _ := testHandler(t)
+	recM, _ := get(t, hm, "/statz")
+	var respM struct {
+		Index struct {
+			Kind string `json:"kind"`
+		} `json:"index"`
+	}
+	if err := json.Unmarshal(recM.Body.Bytes(), &respM); err != nil {
+		t.Fatal(err)
+	}
+	if respM.Index.Kind != "monolithic" {
+		t.Errorf("monolithic /statz kind = %q", respM.Index.Kind)
+	}
+}

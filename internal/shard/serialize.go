@@ -1,0 +1,347 @@
+package shard
+
+// Sharded-index persistence. A sharded index is saved as a *directory*:
+// one binary core-index file per shard plus a JSON manifest tying them
+// together, NoKV-style — the manifest is the unit a deployment ships
+// around, and individual shard files can be fetched or memory-mapped
+// independently by region.
+//
+//	indexdir/
+//	  manifest.json      version, c, node/shard counts, file names, stats
+//	  assignment.bin     n × uint32 LE: node -> shard
+//	  cuts.bin           per-shard outgoing cut edges (binary, see below)
+//	  shard-0000.idx     core.Index.Save format, one per shard
+//	  ...
+//
+// Local ids are not persisted: both writer and reader assign them by
+// ascending global id within each shard, so the assignment array fully
+// determines the mapping.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"kdash/internal/core"
+)
+
+// ManifestName is the file that marks a directory as a sharded index.
+const ManifestName = "manifest.json"
+
+// manifestVersion is bumped whenever the directory layout changes.
+const manifestVersion = 1
+
+// manifest is the JSON document written to ManifestName.
+type manifest struct {
+	Version        int      `json:"version"`
+	Restart        float64  `json:"restart"`
+	Nodes          int      `json:"nodes"`
+	Shards         int      `json:"shards"`
+	QueryTol       float64  `json:"queryTol"`
+	ShardFiles     []string `json:"shardFiles"`
+	AssignmentFile string   `json:"assignmentFile"`
+	CutsFile       string   `json:"cutsFile"`
+	Stats          struct {
+		Sizes         []int   `json:"sizes"`
+		CutEdges      int     `json:"cutEdges"`
+		CutWeightFrac float64 `json:"cutWeightFrac"`
+		NNZInverse    int     `json:"nnzInverse"`
+		Communities   int     `json:"communities"`
+		Modularity    float64 `json:"modularity"`
+	} `json:"stats"`
+}
+
+// IsShardedIndexDir reports whether path is a directory containing a
+// sharded-index manifest — the load-time dispatch the CLIs use to decide
+// between core.LoadIndex and LoadShardedIndex.
+func IsShardedIndexDir(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || !fi.IsDir() {
+		return false
+	}
+	_, err = os.Stat(filepath.Join(path, ManifestName))
+	return err == nil
+}
+
+// Save writes the sharded index into dir, creating it if needed.
+func (sx *ShardedIndex) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("shard: creating index directory: %w", err)
+	}
+	var m manifest
+	m.Version = manifestVersion
+	m.Restart = sx.c
+	m.Nodes = sx.n
+	m.Shards = len(sx.parts)
+	m.QueryTol = sx.qtol
+	m.AssignmentFile = "assignment.bin"
+	m.CutsFile = "cuts.bin"
+	m.Stats.Sizes = sx.stats.Sizes
+	m.Stats.CutEdges = sx.stats.CutEdges
+	m.Stats.CutWeightFrac = sx.stats.CutWeightFrac
+	m.Stats.NNZInverse = sx.stats.NNZInverse
+	m.Stats.Communities = sx.stats.Communities
+	m.Stats.Modularity = sx.stats.Modularity
+	for si, p := range sx.parts {
+		name := fmt.Sprintf("shard-%04d.idx", si)
+		m.ShardFiles = append(m.ShardFiles, name)
+		if err := writeFile(filepath.Join(dir, name), p.ix.Save); err != nil {
+			return fmt.Errorf("shard: saving shard %d: %w", si, err)
+		}
+	}
+	if err := writeFile(filepath.Join(dir, m.AssignmentFile), sx.writeAssignment); err != nil {
+		return fmt.Errorf("shard: saving assignment: %w", err)
+	}
+	if err := writeFile(filepath.Join(dir, m.CutsFile), sx.writeCuts); err != nil {
+		return fmt.Errorf("shard: saving cut edges: %w", err)
+	}
+	blob, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("shard: encoding manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("shard: writing manifest: %w", err)
+	}
+	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (sx *ShardedIndex) writeAssignment(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var buf [4]byte
+	for _, si := range sx.home {
+		binary.LittleEndian.PutUint32(buf[:], uint32(si))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (sx *ShardedIndex) writeCuts(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var b8 [8]byte
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		_, err := bw.Write(b8[:])
+		return err
+	}
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(b8[:4], v)
+		_, err := bw.Write(b8[:4])
+		return err
+	}
+	for _, p := range sx.parts {
+		if err := writeU64(uint64(len(p.cuts))); err != nil {
+			return err
+		}
+		for _, e := range p.cuts {
+			if err := writeU32(uint32(e.src)); err != nil {
+				return err
+			}
+			if err := writeU32(uint32(e.dstShard)); err != nil {
+				return err
+			}
+			if err := writeU32(uint32(e.dst)); err != nil {
+				return err
+			}
+			if err := writeU64(math.Float64bits(e.w)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a sharded index previously written by Save.
+func Load(dir string) (*ShardedIndex, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: reading manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("shard: decoding manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("shard: unsupported manifest version %d (want %d)", m.Version, manifestVersion)
+	}
+	if m.Nodes <= 0 || m.Shards <= 0 || m.Shards > m.Nodes || len(m.ShardFiles) != m.Shards {
+		return nil, fmt.Errorf("shard: corrupt manifest (nodes=%d shards=%d files=%d)", m.Nodes, m.Shards, len(m.ShardFiles))
+	}
+	if m.Restart <= 0 || m.Restart >= 1 {
+		return nil, fmt.Errorf("shard: corrupt manifest (restart %v)", m.Restart)
+	}
+	sx := &ShardedIndex{
+		n:     m.Nodes,
+		c:     m.Restart,
+		qtol:  m.QueryTol,
+		local: make([]int, m.Nodes),
+		parts: make([]*part, m.Shards),
+	}
+	if sx.qtol <= 0 {
+		sx.qtol = DefaultQueryTol
+	}
+	if sx.home, err = readAssignment(filepath.Join(dir, m.AssignmentFile), m.Nodes, m.Shards); err != nil {
+		return nil, err
+	}
+	for i := range sx.parts {
+		sx.parts[i] = &part{}
+	}
+	// Rebuild local ids by the ascending-global-id rule the writer used.
+	for u := 0; u < sx.n; u++ {
+		p := sx.parts[sx.home[u]]
+		sx.local[u] = len(p.nodes)
+		p.nodes = append(p.nodes, u)
+	}
+	for si, name := range m.ShardFiles {
+		p := sx.parts[si]
+		if len(p.nodes) == 0 {
+			return nil, fmt.Errorf("shard: corrupt manifest (shard %d owns no nodes)", si)
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("shard: opening shard %d: %w", si, err)
+		}
+		ix, err := core.LoadIndex(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("shard: loading shard %d: %w", si, err)
+		}
+		switch ix.N() {
+		case len(p.nodes):
+			p.sink = false
+		case len(p.nodes) + 1:
+			p.sink = true
+		default:
+			return nil, fmt.Errorf("shard: shard %d has %d nodes, assignment says %d", si, ix.N(), len(p.nodes))
+		}
+		// The cut weights are pre-scaled by the manifest's (1-c); a shard
+		// file built with a different c would answer silently wrong.
+		if ix.Restart() != sx.c {
+			return nil, fmt.Errorf("shard: shard %d built with restart %v, manifest says %v", si, ix.Restart(), sx.c)
+		}
+		p.ix = ix
+	}
+	if err := sx.readCuts(filepath.Join(dir, m.CutsFile)); err != nil {
+		return nil, err
+	}
+	sx.stats = BuildStats{
+		Shards:        m.Shards,
+		Sizes:         m.Stats.Sizes,
+		CutEdges:      m.Stats.CutEdges,
+		CutWeightFrac: m.Stats.CutWeightFrac,
+		NNZInverse:    m.Stats.NNZInverse,
+		Communities:   m.Stats.Communities,
+		Modularity:    m.Stats.Modularity,
+	}
+	return sx, nil
+}
+
+func readAssignment(path string, n, shards int) ([]int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: opening assignment: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	out := make([]int, n)
+	var buf [4]byte
+	for u := 0; u < n; u++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("shard: reading assignment: %w", err)
+		}
+		si := int(binary.LittleEndian.Uint32(buf[:]))
+		if si < 0 || si >= shards {
+			return nil, fmt.Errorf("shard: corrupt assignment (node %d -> shard %d of %d)", u, si, shards)
+		}
+		out[u] = si
+	}
+	return out, nil
+}
+
+func (sx *ShardedIndex) readCuts(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("shard: opening cut edges: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var b8 [8]byte
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, b8[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(b8[:]), nil
+	}
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, b8[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b8[:4]), nil
+	}
+	for si, p := range sx.parts {
+		count, err := readU64()
+		if err != nil {
+			return fmt.Errorf("shard: reading cut edges of shard %d: %w", si, err)
+		}
+		if count > uint64(sx.n)*uint64(sx.n) {
+			return fmt.Errorf("shard: corrupt cut edges (shard %d claims %d)", si, count)
+		}
+		p.cuts = make([]cutEdge, count)
+		for i := range p.cuts {
+			src, err := readU32()
+			if err != nil {
+				return err
+			}
+			dstShard, err := readU32()
+			if err != nil {
+				return err
+			}
+			dst, err := readU32()
+			if err != nil {
+				return err
+			}
+			wBits, err := readU64()
+			if err != nil {
+				return err
+			}
+			e := cutEdge{src: int(src), dstShard: int(dstShard), dst: int(dst), w: math.Float64frombits(wBits)}
+			if e.src < 0 || e.src >= len(p.nodes) || e.dstShard < 0 || e.dstShard >= len(sx.parts) ||
+				e.dst < 0 || e.dst >= len(sx.parts[e.dstShard].nodes) || e.w < 0 || math.IsNaN(e.w) {
+				return fmt.Errorf("shard: corrupt cut edge %d of shard %d", i, si)
+			}
+			if i > 0 && p.cuts[i-1].src > e.src {
+				return fmt.Errorf("shard: corrupt cut edges (shard %d not sorted by source)", si)
+			}
+			p.cuts[i] = e
+		}
+	}
+	// Rebuild the per-source pointers.
+	for _, p := range sx.parts {
+		p.cutPtr = make([]int, len(p.nodes)+1)
+		for _, e := range p.cuts {
+			p.cutPtr[e.src+1]++
+		}
+		for v := 0; v < len(p.nodes); v++ {
+			p.cutPtr[v+1] += p.cutPtr[v]
+		}
+	}
+	return nil
+}

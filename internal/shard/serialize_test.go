@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/reorder"
+)
+
+// TestSaveLoadRoundTrip checks that a loaded sharded index answers every
+// query identically to the index it was saved from.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := gen.DirectedScaleFree(180, 3, 0.3, 0.4, 21)
+	built, err := Build(g, Options{Shards: 5, Reorder: reorder.Hybrid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := built.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !IsShardedIndexDir(dir) {
+		t.Fatal("saved directory not recognised as a sharded index")
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != built.N() || loaded.Restart() != built.Restart() || loaded.Shards() != built.Shards() {
+		t.Fatalf("shape mismatch: loaded (n=%d c=%v s=%d), built (n=%d c=%v s=%d)",
+			loaded.N(), loaded.Restart(), loaded.Shards(), built.N(), built.Restart(), built.Shards())
+	}
+	for q := 0; q < g.N(); q += 13 {
+		want, _, err := built.TopK(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := loaded.TopK(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("q=%d: %d vs %d results", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("q=%d i=%d: loaded %v, built %v", q, i, got[i], want[i])
+			}
+		}
+	}
+	// Persisted stats survive the trip.
+	if loaded.Stats().CutEdges != built.Stats().CutEdges || loaded.Stats().NNZInverse != built.Stats().NNZInverse {
+		t.Errorf("stats mismatch: loaded %+v, built %+v", loaded.Stats(), built.Stats())
+	}
+}
+
+// TestLoadRejectsCorruption checks the loader fails loudly instead of
+// serving from a damaged directory.
+func TestLoadRejectsCorruption(t *testing.T) {
+	g := gen.ErdosRenyi(40, 160, 2)
+	built, err := Build(g, Options{Shards: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := built.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(dir, "nope")); err == nil {
+		t.Error("missing directory accepted")
+	}
+	// Truncated assignment.
+	if err := os.WriteFile(filepath.Join(dir, "assignment.bin"), []byte{1, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("truncated assignment accepted")
+	}
+	// Garbage manifest.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("garbage manifest accepted")
+	}
+}

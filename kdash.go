@@ -31,6 +31,7 @@ import (
 	"kdash/internal/graph"
 	"kdash/internal/reorder"
 	"kdash/internal/rwr"
+	"kdash/internal/shard"
 	"kdash/internal/topk"
 )
 
@@ -111,6 +112,38 @@ func Load(r io.Reader) (*Graph, error) {
 // servers.
 func LoadIndex(r io.Reader) (*Index, error) {
 	return core.LoadIndex(r)
+}
+
+// ShardedIndex is a partitioned K-dash index: the graph is split into
+// balanced Louvain communities, one K-dash index is built per partition
+// (concurrently), and queries merge per-shard answers into one exact
+// ranking. Build cost parallelises near-linearly with the shard count;
+// answers match the monolithic Index.
+type ShardedIndex = shard.ShardedIndex
+
+// ShardOptions configures sharded index construction.
+type ShardOptions = shard.Options
+
+// ShardStats reports partition-parallel build cost.
+type ShardStats = shard.BuildStats
+
+// BuildShardedIndex partitions the graph and builds one K-dash index per
+// partition across a worker pool.
+func BuildShardedIndex(g *Graph, opt ShardOptions) (*ShardedIndex, error) {
+	return shard.Build(g, opt)
+}
+
+// LoadShardedIndex reads a sharded index previously written with
+// ShardedIndex.Save (a directory of per-shard index files plus a
+// manifest).
+func LoadShardedIndex(dir string) (*ShardedIndex, error) {
+	return shard.Load(dir)
+}
+
+// IsShardedIndexDir reports whether path holds a saved sharded index —
+// the dispatch CLIs use to pick LoadShardedIndex over LoadIndex.
+func IsShardedIndexDir(path string) bool {
+	return shard.IsShardedIndexDir(path)
 }
 
 // IterativeTopK computes the exact top-k answer with the classical
