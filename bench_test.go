@@ -343,6 +343,52 @@ func BenchmarkShardedTopK(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchTopK measures aggregate batched throughput against a
+// sequential single-query loop over the same nodes on the 50k bench
+// graph (8 shards): the batched path runs one shared block push whose
+// per-shard factor sweeps are amortised across every query with residual
+// mass in the shard. ns/op counts one full set of <batch> queries in
+// both modes, so the sequential/batched ratio is the aggregate speedup.
+func BenchmarkBatchTopK(b *testing.B) {
+	g := shardBenchGraph()
+	sx, ok := benchShardedIndexes[8]
+	if !ok {
+		var err error
+		sx, err = shard.Build(g, shard.Options{Shards: 8, Reorder: reorder.Hybrid, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchShardedIndexes[8] = sx
+	}
+	const k = 10
+	for _, batch := range []int{8, 64} {
+		qs := make([]int, batch)
+		for i := range qs {
+			qs[i] = (i * 997) % sx.N()
+		}
+		b.Run(fmt.Sprintf("sequential/batch=%d", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range qs {
+					if _, _, err := sx.TopK(q, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batched/batch=%d", batch), func(b *testing.B) {
+			var sharing float64
+			for i := 0; i < b.N; i++ {
+				_, bs, err := sx.TopKBatch(qs, k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sharing = bs.Sharing()
+			}
+			b.ReportMetric(sharing, "rhs/solve")
+		})
+	}
+}
+
 // BenchmarkAblationParallelInvert times serial vs parallel triangular
 // inversion (an implementation extension; results must be identical).
 func BenchmarkAblationParallelInvert(b *testing.B) {

@@ -8,6 +8,7 @@
 //	kdash-bench -exp fig2           # one experiment
 //	kdash-bench -exp fig5 -queries 5
 //	kdash-bench -exp shards -shards 1,4,8 -shard-nodes 50000
+//	kdash-bench -exp batch -batches 1,8,64 -shard-nodes 50000
 //
 // Output is printed as plain tables; EXPERIMENTS.md records a reference
 // run next to the paper's reported trends.
@@ -25,16 +26,19 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|batch|all")
 		queries    = flag.Int("queries", 10, "query nodes averaged per measurement")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		shards     = flag.String("shards", "1,2,4,8", "shard counts for -exp shards")
-		shardNodes = flag.Int("shard-nodes", 0, "graph size for -exp shards (0 = default 50000)")
+		shardNodes = flag.Int("shard-nodes", 0, "graph size for -exp shards/batch (0 = default 50000)")
+		batches    = flag.String("batches", "1,8,64", "batch sizes for -exp batch")
 	)
 	flag.Parse()
 	shardCounts, err := parseInts(*shards)
 	check(err)
-	cfg := experiments.Config{Queries: *queries, Seed: *seed, ShardCounts: shardCounts, ShardGraphN: *shardNodes}
+	batchSizes, err := parseInts(*batches)
+	check(err)
+	cfg := experiments.Config{Queries: *queries, Seed: *seed, ShardCounts: shardCounts, ShardGraphN: *shardNodes, BatchSizes: batchSizes}
 	want := strings.Split(*exp, ",")
 	run := func(name string) bool {
 		for _, w := range want {
@@ -110,6 +114,13 @@ func main() {
 		check(err)
 		experiments.WriteShardRows(os.Stdout, rows)
 	}
+	if run("batch") {
+		any = true
+		section("Extension — batched execution: shared block push vs sequential queries")
+		rows, err := experiments.BatchScale(cfg)
+		check(err)
+		experiments.WriteBatchRows(os.Stdout, rows)
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kdash-bench: unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -126,7 +137,7 @@ func parseInts(s string) ([]int, error) {
 		}
 		v, err := strconv.Atoi(part)
 		if err != nil || v < 1 {
-			return nil, fmt.Errorf("bad shard count %q", part)
+			return nil, fmt.Errorf("bad count %q", part)
 		}
 		out = append(out, v)
 	}

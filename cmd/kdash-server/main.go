@@ -7,22 +7,31 @@
 //	kdash-server -graph edges.tsv -shards 8 -addr :8080
 //	kdash-server -load-index graph.idx -addr :8080
 //	kdash-server -load-index idxdir -addr :8080    # sharded manifest directory
+//	kdash-server -load-index idxdir -cache 256 -max-batch 512
 //
 // Endpoints (identical for monolithic and sharded indexes):
 //
 //	GET  /topk?q=<node>&k=<count>[&exclude=1,2,3]
+//	POST /topk/batch     {"queries":[{"q":3,"k":5},{"q":9,"k":5,"exclude":[9]}]}
 //	POST /personalized   {"seeds":{"3":1,"80":2},"k":5}
 //	GET  /proximity?q=<node>&u=<node>
 //	GET  /healthz
-//	GET  /statz          build stats, per-shard sizes, query counters
+//	GET  /statz          build stats, per-shard sizes, query/error counters
+//
+// SIGINT/SIGTERM drain in-flight queries through srv.Shutdown before the
+// process exits, so rolling restarts never cut answers off mid-response.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"kdash"
@@ -37,6 +46,12 @@ func main() {
 		c         = flag.Float64("c", kdash.DefaultRestart, "restart probability (build mode)")
 		shards    = flag.Int("shards", 1, "partition the index into N shards built in parallel (build mode)")
 		workers   = flag.Int("workers", 0, "worker-pool width for the build (0 = all CPUs)")
+		cacheSize = flag.Int("cache", 0, "LRU proximity-vector cache entries (0 = disabled; each entry holds one full vector)")
+		maxBatch  = flag.Int("max-batch", server.DefaultMaxBatch, "largest /topk/batch request accepted")
+
+		readTimeout     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
+		writeTimeout    = flag.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
+		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight queries on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	var engine server.Engine
@@ -99,10 +114,31 @@ func main() {
 	}
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      server.New(engine),
-		ReadTimeout:  10 * time.Second,
-		WriteTimeout: 10 * time.Second,
+		Handler:      server.New(engine, server.WithCache(*cacheSize), server.WithMaxBatch(*maxBatch)),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("serving on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err) // bind failure or similar; never http.ErrServerClosed here
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		log.Printf("signal received, draining in-flight queries (up to %v)", *shutdownTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+		log.Printf("shut down cleanly")
+	}
 }

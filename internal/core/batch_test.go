@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/lu"
+	"kdash/internal/reorder"
+)
+
+func batchTestIndex(t *testing.T, seed int64, n int) *Index {
+	t.Helper()
+	g := gen.PlantedPartition(n, 4, 0.2, 0.02, seed)
+	ix, err := BuildIndex(g, BuildOptions{Reorder: reorder.Hybrid, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestTopKBatchMatchesSingle is the monolithic half of the batch
+// exactness property: batched answers must be identical — node ids and
+// bit-equal scores — to per-query TopK, across random graphs and the
+// acceptance batch sizes.
+func TestTopKBatchMatchesSingle(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		ix := batchTestIndex(t, seed, 150)
+		rng := rand.New(rand.NewSource(seed))
+		for _, nb := range []int{1, 7, 64} {
+			qs := make([]int, nb)
+			for i := range qs {
+				qs[i] = rng.Intn(ix.N())
+			}
+			got, stats, err := ix.TopKBatch(qs, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, q := range qs {
+				want, wantStats, err := ix.TopK(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got[i]) != len(want) {
+					t.Fatalf("seed %d nb %d query %d: %d results, want %d", seed, nb, i, len(got[i]), len(want))
+				}
+				for j := range want {
+					if got[i][j].Node != want[j].Node || got[i][j].Score != want[j].Score {
+						t.Errorf("seed %d nb %d query %d rank %d: %+v vs %+v", seed, nb, i, j, got[i][j], want[j])
+					}
+				}
+				if stats[i] != wantStats {
+					t.Errorf("seed %d nb %d query %d: stats %+v vs %+v", seed, nb, i, stats[i], wantStats)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchBatchExclude(t *testing.T) {
+	ix := batchTestIndex(t, 1, 120)
+	queries := []BatchQuery{
+		{Q: 3, K: 4},
+		{Q: 3, K: 4, Exclude: map[int]bool{3: true}},
+		{Q: 9, K: 2, Exclude: map[int]bool{9: true, 11: true}},
+	}
+	got, _, err := ix.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bq := range queries {
+		want, _, err := ix.Search(bq.Q, SearchOptions{K: bq.K, Exclude: bq.Exclude})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got[i]) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if got[i][j] != want[j] {
+				t.Errorf("query %d rank %d: %+v vs %+v", i, j, got[i][j], want[j])
+			}
+		}
+		for _, r := range got[i] {
+			if bq.Exclude[r.Node] {
+				t.Errorf("query %d: excluded node %d in answer", i, r.Node)
+			}
+		}
+	}
+}
+
+// TestSearchBatchValidatesUpFront checks that a bad query anywhere in the
+// block fails the whole batch before any work runs.
+func TestSearchBatchValidatesUpFront(t *testing.T) {
+	ix := batchTestIndex(t, 1, 60)
+	for _, queries := range [][]BatchQuery{
+		{{Q: 0, K: 3}, {Q: -1, K: 3}},
+		{{Q: 0, K: 3}, {Q: ix.N(), K: 3}},
+		{{Q: 0, K: 3}, {Q: 1, K: 0}},
+		{{Q: 0, K: 3}, {Q: 1, K: -2}},
+	} {
+		if _, _, err := ix.SearchBatch(queries); err == nil {
+			t.Errorf("queries %+v: no error", queries)
+		}
+	}
+	if rs, stats, err := ix.SearchBatch(nil); err != nil || len(rs) != 0 || len(stats) != 0 {
+		t.Errorf("empty batch: %v %v %v", rs, stats, err)
+	}
+}
+
+// TestSolveBatchMatchesSolve pins the block solve against the
+// single-RHS path within accumulation-order tolerance.
+func TestSolveBatchMatchesSolve(t *testing.T) {
+	ix := batchTestIndex(t, 2, 100)
+	rng := rand.New(rand.NewSource(7))
+	n := ix.N()
+	rs := make([][]float64, 5)
+	for b := range rs {
+		r := make([]float64, n)
+		if b%2 == 0 {
+			r[rng.Intn(n)] = 1
+		} else {
+			for i := 0; i < 10; i++ {
+				r[rng.Intn(n)] += rng.Float64()
+			}
+		}
+		rs[b] = r
+	}
+	// Keep pristine copies: SolveBatch must not mutate its inputs.
+	orig := make([][]float64, len(rs))
+	for b := range rs {
+		orig[b] = append([]float64(nil), rs[b]...)
+	}
+	got, err := ix.SolveBatch(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range rs {
+		for i := range rs[b] {
+			if rs[b][i] != orig[b][i] {
+				t.Fatalf("rhs %d mutated at %d", b, i)
+			}
+		}
+		want, err := ix.Solve(rs[b])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[b][i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Errorf("rhs %d entry %d: %v vs %v", b, i, got[b][i], want[i])
+			}
+		}
+	}
+	if _, err := ix.SolveBatch([][]float64{make([]float64, n-1)}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if out, err := ix.SolveBatch(nil); err != nil || out != nil {
+		t.Errorf("empty batch: %v %v", out, err)
+	}
+}
+
+// TestBatchSolverMatchesLuReference pins the fused production solver
+// (permutation folded in, support-driven scatter, pooled buffers)
+// against the plain lu.Inverse.SolveBatch reference kernel, so a
+// numeric change to either multi-RHS implementation cannot silently
+// diverge from the other.
+func TestBatchSolverMatchesLuReference(t *testing.T) {
+	ix := batchTestIndex(t, 5, 130)
+	rng := rand.New(rand.NewSource(11))
+	n := ix.N()
+	rs := make([][]float64, 11)
+	for b := range rs {
+		r := make([]float64, n)
+		for i := 0; i < 6; i++ {
+			r[rng.Intn(n)] += rng.Float64()
+		}
+		rs[b] = r
+	}
+	got, err := ix.SolveBatch(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: permute into internal coordinates, apply the lu block
+	// kernel, compare in internal order.
+	ref := &lu.Inverse{N: n, Linv: ix.linv, Uinv: ix.uinv}
+	rp := make([][]float64, len(rs))
+	for b, r := range rs {
+		p := make([]float64, n)
+		for u, v := range r {
+			if v != 0 {
+				p[ix.perm[u]] = v
+			}
+		}
+		rp[b] = p
+	}
+	want := ref.SolveBatch(rp)
+	for b := range rs {
+		for u := 0; u < n; u++ {
+			w, g := want[b][u], got[b][ix.inv[u]]
+			if math.Abs(g-w) > 1e-12*(1+math.Abs(w)) {
+				t.Fatalf("rhs %d internal row %d: fused %v vs reference %v", b, u, g, w)
+			}
+		}
+	}
+}
+
+// TestPersonalizedAfterBatchRefactor guards the shared-workspace refactor
+// against regressions in the multi-seed path: the same query through
+// TopKPersonalized and a single-seed Search must agree.
+func TestPersonalizedAfterBatchRefactor(t *testing.T) {
+	ix := batchTestIndex(t, 3, 90)
+	single, _, err := ix.TopK(5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pers, _, err := ix.TopKPersonalized(map[int]float64{5: 2.5}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single) != len(pers) {
+		t.Fatalf("%d vs %d results", len(single), len(pers))
+	}
+	for i := range single {
+		if single[i].Node != pers[i].Node || math.Abs(single[i].Score-pers[i].Score) > 1e-12 {
+			t.Errorf("rank %d: %+v vs %+v", i, single[i], pers[i])
+		}
+	}
+}

@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"kdash/internal/graph"
@@ -71,7 +72,20 @@ type Index struct {
 	amaxCol []float64 // Amax(u): max element of column u of A
 	selfA   []float64 // A_uu, for the c' factor of Definition 1
 
+	// uinvCol is U^{-1} transposed to column form, built lazily for the
+	// batch solver's support-driven apply (it lets a solve whose L^{-1}
+	// workspace touches few rows skip the full row sweep). Immutable once
+	// built; never serialised — loads rebuild it on first batched query.
+	uinvColOnce sync.Once
+	uinvCol     *sparse.CSC
+
 	stats BuildStats
+}
+
+// uinvByColumn returns U^{-1} in column-major form, building it once.
+func (ix *Index) uinvByColumn() *sparse.CSC {
+	ix.uinvColOnce.Do(func() { ix.uinvCol = ix.uinv.ToCSC() })
+	return ix.uinvCol
 }
 
 // BuildIndex precomputes a K-dash index for the graph.
@@ -182,8 +196,36 @@ func (ix *Index) TopK(q, k int) ([]topk.Result, SearchStats, error) {
 	return ix.Search(q, SearchOptions{K: k})
 }
 
+// searchWS is the per-query scratch a tree search needs. A batch reuses
+// one instance across its queries so a large index does not pay two O(n)
+// allocations (plus their zeroing) per query: the proximity workspace is
+// spot-cleaned after each query and the BFS state is invalidated by
+// bumping the generation counter instead of rewriting the arrays.
+type searchWS struct {
+	ws    []float64 // scattered L^{-1} r; only scattered entries are live
+	layer []int     // BFS layer of u, valid only where mark[u] == gen
+	mark  []int
+	gen   int
+	queue []int
+}
+
+func (ix *Index) newSearchWS() *searchWS {
+	return &searchWS{
+		ws:    make([]float64, ix.n),
+		layer: make([]int, ix.n),
+		mark:  make([]int, ix.n),
+		queue: make([]int, 0, 256),
+	}
+}
+
 // Search runs a query with full control over the search strategy.
 func (ix *Index) Search(q int, opt SearchOptions) ([]topk.Result, SearchStats, error) {
+	return ix.search(q, opt, ix.newSearchWS())
+}
+
+// search runs one query against a caller-supplied workspace, leaving the
+// workspace clean for the next query of a batch.
+func (ix *Index) search(q int, opt SearchOptions, sw *searchWS) ([]topk.Result, SearchStats, error) {
 	var stats SearchStats
 	if q < 0 || q >= ix.n {
 		return nil, stats, fmt.Errorf("core: query node %d outside [0,%d)", q, ix.n)
@@ -195,18 +237,22 @@ func (ix *Index) Search(q int, opt SearchOptions) ([]topk.Result, SearchStats, e
 
 	// L^{-1} e_q scattered into a dense workspace for O(1) lookups while
 	// walking rows of U^{-1}.
-	ws := make([]float64, ix.n)
 	for i := ix.linv.ColPtr[qi]; i < ix.linv.ColPtr[qi+1]; i++ {
-		ws[ix.linv.RowIdx[i]] = ix.linv.Val[i]
+		sw.ws[ix.linv.RowIdx[i]] = ix.linv.Val[i]
 	}
 
 	heap := topk.New(opt.K)
 	excluded := ix.internalExclusions(opt.Exclude)
 
 	if opt.RandomRoot {
-		ix.searchRandomRoot(qi, heap, ws, opt, excluded, &stats)
+		ix.searchRandomRoot(qi, heap, sw.ws, opt, excluded, &stats)
 	} else {
-		ix.searchTree([]int{qi}, heap, ws, opt, excluded, &stats)
+		ix.searchTree([]int{qi}, heap, sw, opt, excluded, &stats)
+	}
+
+	// Spot-clean the scattered column so the workspace is reusable.
+	for i := ix.linv.ColPtr[qi]; i < ix.linv.ColPtr[qi+1]; i++ {
+		sw.ws[ix.linv.RowIdx[i]] = 0
 	}
 
 	results := heap.Results()
@@ -214,6 +260,52 @@ func (ix *Index) Search(q int, opt SearchOptions) ([]topk.Result, SearchStats, e
 		results[i].Node = ix.inv[results[i].Node]
 	}
 	return results, stats, nil
+}
+
+// BatchQuery is one query of a batched execution: a query node, its
+// answer-set size and an optional exclusion set (original node ids).
+type BatchQuery struct {
+	Q       int
+	K       int
+	Exclude map[int]bool
+}
+
+// SearchBatch answers a block of queries, validating every query before
+// any work happens so a bad entry fails the batch without partial
+// execution. The queries share one search workspace, which removes the
+// per-query O(n) allocate-and-zero cost that dominates small pruned
+// searches on large indexes. Answers are identical to issuing each query
+// through Search.
+func (ix *Index) SearchBatch(queries []BatchQuery) ([][]topk.Result, []SearchStats, error) {
+	for i, bq := range queries {
+		if bq.Q < 0 || bq.Q >= ix.n {
+			return nil, nil, fmt.Errorf("core: batch query %d: node %d outside [0,%d)", i, bq.Q, ix.n)
+		}
+		if bq.K <= 0 {
+			return nil, nil, fmt.Errorf("core: batch query %d: K must be positive, got %d", i, bq.K)
+		}
+	}
+	sw := ix.newSearchWS()
+	results := make([][]topk.Result, len(queries))
+	stats := make([]SearchStats, len(queries))
+	for i, bq := range queries {
+		rs, st, err := ix.search(bq.Q, SearchOptions{K: bq.K, Exclude: bq.Exclude}, sw)
+		if err != nil {
+			return nil, nil, err
+		}
+		results[i], stats[i] = rs, st
+	}
+	return results, stats, nil
+}
+
+// TopKBatch answers top-k for a block of query nodes with a shared
+// answer-set size; see SearchBatch.
+func (ix *Index) TopKBatch(qs []int, k int) ([][]topk.Result, []SearchStats, error) {
+	queries := make([]BatchQuery, len(qs))
+	for i, q := range qs {
+		queries[i] = BatchQuery{Q: q, K: k}
+	}
+	return ix.SearchBatch(queries)
 }
 
 // internalExclusions converts an original-id exclusion set to internal
@@ -269,15 +361,15 @@ func (ix *Index) TopKPersonalized(seeds map[int]float64, k int) ([]topk.Result, 
 	}
 	sort.Ints(internal)
 	// Accumulate L^{-1} r into the workspace.
-	ws := make([]float64, ix.n)
+	sw := ix.newSearchWS()
 	for _, qi := range internal {
 		wq := weight[qi]
 		for i := ix.linv.ColPtr[qi]; i < ix.linv.ColPtr[qi+1]; i++ {
-			ws[ix.linv.RowIdx[i]] += wq * ix.linv.Val[i]
+			sw.ws[ix.linv.RowIdx[i]] += wq * ix.linv.Val[i]
 		}
 	}
 	heap := topk.New(k)
-	ix.searchTree(internal, heap, ws, SearchOptions{K: k}, nil, &stats)
+	ix.searchTree(internal, heap, sw, SearchOptions{K: k}, nil, &stats)
 	results := heap.Results()
 	for i := range results {
 		results[i].Node = ix.inv[results[i].Node]
@@ -330,16 +422,16 @@ func (ix *Index) cPrime(u int) float64 {
 // node itself is visited — so an early-terminated search costs O(visited
 // nodes + their edges), not O(n + m). The visit order is identical to a
 // fully materialised BFS.
-func (ix *Index) searchTree(roots []int, heap *topk.Heap, ws []float64, opt SearchOptions, excluded map[int]bool, stats *SearchStats) {
-	layer := make([]int, ix.n) // -1 = undiscovered
-	for i := range layer {
-		layer[i] = -1
-	}
-	queue := make([]int, len(roots), 256)
-	copy(queue, roots)
+func (ix *Index) searchTree(roots []int, heap *topk.Heap, sw *searchWS, opt SearchOptions, excluded map[int]bool, stats *SearchStats) {
+	ws := sw.ws
+	sw.gen++
+	layer, mark, gen := sw.layer, sw.mark, sw.gen
+	queue := append(sw.queue[:0], roots...)
 	for _, r := range roots {
+		mark[r] = gen
 		layer[r] = 0
 	}
+	defer func() { sw.queue = queue[:0] }()
 
 	// Estimation terms (Definition 2): t1 covers selected nodes one layer
 	// above the current node, t2 selected nodes on the same layer, t3 the
@@ -393,7 +485,8 @@ func (ix *Index) searchTree(roots []int, heap *topk.Heap, ws []float64, opt Sear
 		// Discover u's out-neighbours (lazy BFS expansion).
 		for i := ix.a.ColPtr[u]; i < ix.a.ColPtr[u+1]; i++ {
 			v := ix.a.RowIdx[i]
-			if layer[v] < 0 {
+			if mark[v] != gen {
+				mark[v] = gen
 				layer[v] = layer[u] + 1
 				queue = append(queue, v)
 			}
@@ -481,6 +574,336 @@ func (ix *Index) Solve(r []float64) ([]float64, error) {
 		out[ix.inv[u]] = s
 	}
 	return out, nil
+}
+
+// SolveBatch computes y = W^{-1} r for a block of right-hand sides
+// through one traversal of the inverted factors, amortising the dominant
+// U^{-1} sweep (and, where right-hand side patterns overlap, the L^{-1}
+// scatter) across the whole block — the batched counterpart of Solve and
+// the kernel internal/shard's batched cross-shard push shares its
+// per-shard solves through. Input and output vectors are in original
+// node-id order; per column, answers are identical to Solve (the same
+// accumulation order runs per lane).
+func (ix *Index) SolveBatch(rs [][]float64) ([][]float64, error) {
+	return ix.NewBatchSolver().Solve(rs)
+}
+
+// BlockWidth is the lane count of the fixed-width block kernel. Eight
+// lanes keep the interleaved workspace one cache line per factor entry,
+// let every inner loop run with compile-time bounds (no per-element
+// bounds checks), and keep the per-shard block workspace L2-resident.
+// Wider blocks are processed as consecutive BlockWidth-wide chunks, so
+// SolveOn's shared support lists change at BlockWidth boundaries.
+const BlockWidth = 8
+
+// blockWidth is the internal alias the kernels use.
+const blockWidth = BlockWidth
+
+// BatchSolver runs repeated block solves against one index, reusing its
+// interleaved workspace and output vectors across calls so a push that
+// performs many block solves does not pay an allocate-and-zero per
+// solve. Not safe for concurrent use, and the returned vectors are valid
+// only until the next Solve call (Index.SolveBatch wraps a fresh solver
+// per call for the safe, unshared contract).
+type BatchSolver struct {
+	ix      *Index
+	ws      []float64 // interleaved workspace: entry i of lane v at ws[i*blockWidth+v]
+	ob      []float64 // interleaved output block for the scatter path
+	mark    []bool    // workspace row support flags
+	omark   []bool    // output row support flags (scatter path)
+	support []int     // workspace rows touched by the current chunk
+	osup    []int     // output rows touched by the current chunk
+	outs    [][]float64
+}
+
+// NewBatchSolver returns a reusable block solver for the index.
+func (ix *Index) NewBatchSolver() *BatchSolver {
+	return &BatchSolver{ix: ix}
+}
+
+// Solve computes W^{-1} r per block lane; see Index.SolveBatch. Every
+// entry of every returned vector is written.
+func (bs *BatchSolver) Solve(rs [][]float64) ([][]float64, error) {
+	outs, _, err := bs.solve(rs, true)
+	return outs, err
+}
+
+// SolveOn is Solve plus, per lane, the rows (original node ids,
+// unordered) that may hold nonzero solution entries; a nil list means
+// any row. Rows outside a lane's list are NOT written — they may hold
+// stale values from an earlier call — so callers must restrict their
+// reads to the list. Lanes of the same 8-wide chunk share one list.
+// This is the contract the sharded push consumes: a solve reaching a
+// fraction of the shard costs a proportional fraction to apply.
+func (bs *BatchSolver) SolveOn(rs [][]float64) ([][]float64, [][]int, error) {
+	return bs.solve(rs, false)
+}
+
+func (bs *BatchSolver) solve(rs [][]float64, fullDrain bool) ([][]float64, [][]int, error) {
+	ix := bs.ix
+	nb := len(rs)
+	if nb == 0 {
+		return nil, nil, nil
+	}
+	for b, r := range rs {
+		if len(r) != ix.n {
+			return nil, nil, fmt.Errorf("core: SolveBatch rhs %d has %d entries, index has %d nodes", b, len(r), ix.n)
+		}
+	}
+	for len(bs.outs) < nb {
+		bs.outs = append(bs.outs, nil)
+	}
+	outs := bs.outs[:nb]
+	for v := range outs {
+		if len(outs[v]) != ix.n {
+			outs[v] = make([]float64, ix.n)
+		}
+		// No zeroing: the drain writes every entry a caller may read.
+	}
+	sups := make([][]int, nb)
+	for c := 0; c < nb; c += blockWidth {
+		w := nb - c
+		if w > blockWidth {
+			w = blockWidth
+		}
+		sup := bs.solveChunk(rs[c:c+w], outs[c:c+w], fullDrain)
+		for v := c; v < c+w; v++ {
+			sups[v] = sup
+		}
+	}
+	return outs, sups, nil
+}
+
+// solveChunk runs one fixed-width block through both inverse factors,
+// returning the solution support (original ids) or nil for "any row".
+// Lanes beyond len(rs) are zero padding: they cost arithmetic on zeros
+// but buy compile-time loop bounds, a net win for every width measured.
+//
+// The L^{-1} pass records which workspace rows the chunk actually
+// touches. When that support is small relative to U^{-1} — a restart
+// vector reaches only nnz(L^{-1} e_q) rows — the U^{-1} apply runs as a
+// column scatter over the support (through the lazily transposed
+// factor) instead of the full row sweep, skipping the vast majority of
+// factor entries. Both applies visit each output's contributions in
+// ascending column order, so they are bit-identical to Solve per lane.
+func (bs *BatchSolver) solveChunk(rs, outs [][]float64, fullDrain bool) []int {
+	ix := bs.ix
+	n := ix.n
+	need := n * blockWidth
+	if cap(bs.ws) < need {
+		bs.ws = make([]float64, need)
+		bs.ob = make([]float64, need)
+		bs.mark = make([]bool, n)
+		bs.omark = make([]bool, n)
+	} else {
+		// The previous chunk spot-cleaned exactly its support rows, so
+		// the workspace is already zero.
+		bs.ws = bs.ws[:need]
+	}
+	ws := bs.ws
+	w := len(rs)
+	uCol := ix.uinvByColumn()
+	support := bs.support[:0]
+	scatterEntries := 0
+	touch := func(r int) {
+		if !bs.mark[r] {
+			bs.mark[r] = true
+			support = append(support, r)
+			scatterEntries += uCol.ColPtr[r+1] - uCol.ColPtr[r]
+		}
+	}
+
+	// ws = L^{-1} (P r) per lane. Rows are walked in original id order —
+	// the same accumulation order Solve uses — and each L^{-1} column is
+	// traversed once for every lane sharing a nonzero on that row, the
+	// common case for the push's residual vectors (their support is the
+	// shard's cut-target set). A row with a single active lane (e.g. the
+	// first solve of a restart vector) takes the scalar scatter instead,
+	// skipping the zero lanes.
+	lp, lr, lval := ix.linv.ColPtr, ix.linv.RowIdx, ix.linv.Val
+	var row [blockWidth]float64
+	for u := 0; u < n; u++ {
+		nz, lone := 0, 0
+		for v := 0; v < w; v++ {
+			rv := rs[v][u]
+			row[v] = rv
+			if rv != 0 {
+				nz++
+				lone = v
+			}
+		}
+		if nz == 0 {
+			continue
+		}
+		qi := ix.perm[u]
+		if nz == 1 {
+			rv := row[lone]
+			for i := lp[qi]; i < lp[qi+1]; i++ {
+				r := lr[i]
+				touch(r)
+				ws[r*blockWidth+lone] += rv * lval[i]
+			}
+			continue
+		}
+		for i := lp[qi]; i < lp[qi+1]; i++ {
+			r := lr[i]
+			touch(r)
+			base := r * blockWidth
+			d := ws[base : base+blockWidth : base+blockWidth]
+			s := lval[i]
+			d[0] += s * row[0]
+			d[1] += s * row[1]
+			d[2] += s * row[2]
+			d[3] += s * row[3]
+			d[4] += s * row[4]
+			d[5] += s * row[5]
+			d[6] += s * row[6]
+			d[7] += s * row[7]
+		}
+	}
+
+	// Pick the cheaper U^{-1} apply: the scatter pays its entries plus a
+	// sort and an output-block drain (~2 rows of traffic per shard row),
+	// the sweep pays every stored entry.
+	var outSup []int
+	if scatterEntries+2*n < ix.uinv.NNZ() {
+		outSup = bs.applyUpperScatter(support, scatterEntries, ws, outs, fullDrain)
+	} else {
+		bs.applyUpperSweep(ws, outs)
+	}
+	// Leave the workspace zero for the next chunk: spot-clean exactly the
+	// touched rows when the support is small, one bulk clear (memclr,
+	// far cheaper per byte) when the chunk reached most of the shard.
+	if len(support)*4 < n {
+		for _, r := range support {
+			bs.mark[r] = false
+			base := r * blockWidth
+			clear(ws[base : base+blockWidth])
+		}
+	} else {
+		clear(ws)
+		clear(bs.mark)
+	}
+	bs.support = support
+	return outSup
+}
+
+// applyUpperSweep computes the U^{-1} apply by rows: each row's indices
+// and values are loaded once and dotted against all lanes out of
+// registers.
+func (bs *BatchSolver) applyUpperSweep(ws []float64, outs [][]float64) {
+	ix := bs.ix
+	w := len(outs)
+	up, uc, uval := ix.uinv.RowPtr, ix.uinv.ColIdx, ix.uinv.Val
+	for u := 0; u < ix.n; u++ {
+		var acc [blockWidth]float64
+		for i := up[u]; i < up[u+1]; i++ {
+			base := uc[i] * blockWidth
+			cws := ws[base : base+blockWidth : base+blockWidth]
+			s := uval[i]
+			acc[0] += s * cws[0]
+			acc[1] += s * cws[1]
+			acc[2] += s * cws[2]
+			acc[3] += s * cws[3]
+			acc[4] += s * cws[4]
+			acc[5] += s * cws[5]
+			acc[6] += s * cws[6]
+			acc[7] += s * cws[7]
+		}
+		ou := ix.inv[u]
+		for v := 0; v < w; v++ {
+			outs[v][ou] = acc[v]
+		}
+	}
+}
+
+// applyUpperScatter computes the U^{-1} apply by columns of the
+// workspace support only, at cost proportional to the support's column
+// sizes instead of nnz(U^{-1}). Ascending support order keeps each
+// output's accumulation sequence identical to the row sweep's.
+//
+// When the scatter is small enough that the solution's reach must be a
+// minor fraction of the shard (each scattered entry introduces at most
+// one output row), the touched rows are tracked, drained selectively
+// and returned as the support (original ids) — the support-flag branch
+// stays out of the hot loop otherwise. A nil return means every output
+// entry was written.
+func (bs *BatchSolver) applyUpperScatter(support []int, scatterEntries int, ws []float64, outs [][]float64, fullDrain bool) []int {
+	ix := bs.ix
+	n, w := ix.n, len(outs)
+	uCol := ix.uinvByColumn()
+	// ob is zero on entry: the first allocation zeroes it and the drain
+	// below re-zeroes every row it reads.
+	ob := bs.ob[:n*blockWidth]
+	// The scatter must visit columns ascending (it keeps the summation
+	// order identical to the row sweep). Beyond a few dozen rows a
+	// linear scan of the flags beats sorting the list.
+	if len(support) >= 64 {
+		support = support[:0]
+		for r := 0; r < n; r++ {
+			if bs.mark[r] {
+				support = append(support, r)
+			}
+		}
+	} else {
+		sort.Ints(support)
+	}
+	// Track the output support unless the scatter is so large the reach
+	// is certainly most of the shard: the per-entry flag branch then
+	// buys a support-sized drain instead of a full-shard one.
+	track := !fullDrain && scatterEntries*2 < n
+	omark, osup := bs.omark, bs.osup[:0]
+	for _, j := range support {
+		base := j * blockWidth
+		cws := ws[base : base+blockWidth : base+blockWidth]
+		rows := uCol.RowIdx[uCol.ColPtr[j]:uCol.ColPtr[j+1]]
+		vals := uCol.Val[uCol.ColPtr[j]:uCol.ColPtr[j+1]]
+		vals = vals[:len(rows)] // hint: drops the vals[k] bounds check
+		for k, r := range rows {
+			s := vals[k]
+			if track && !omark[r] {
+				omark[r] = true
+				osup = append(osup, r)
+			}
+			obase := r * blockWidth
+			d := ob[obase : obase+blockWidth : obase+blockWidth]
+			d[0] += s * cws[0]
+			d[1] += s * cws[1]
+			d[2] += s * cws[2]
+			d[3] += s * cws[3]
+			d[4] += s * cws[4]
+			d[5] += s * cws[5]
+			d[6] += s * cws[6]
+			d[7] += s * cws[7]
+		}
+	}
+	bs.osup = osup
+	if !track {
+		for u := 0; u < n; u++ {
+			ou := ix.inv[u]
+			base := u * blockWidth
+			for v := 0; v < w; v++ {
+				outs[v][ou] = ob[base+v]
+			}
+			clear(ob[base : base+blockWidth])
+		}
+		return nil
+	}
+	// Drain only the touched rows, translating to original ids for the
+	// returned support; untouched output entries keep stale values the
+	// SolveOn contract forbids reading.
+	mapped := make([]int, len(osup))
+	for k, u := range osup {
+		omark[u] = false
+		ou := ix.inv[u]
+		mapped[k] = ou
+		base := u * blockWidth
+		for v := 0; v < w; v++ {
+			outs[v][ou] = ob[base+v]
+		}
+		clear(ob[base : base+blockWidth])
+	}
+	return mapped
 }
 
 // Statz reports observability fields for the server's /statz endpoint.

@@ -1,0 +1,124 @@
+package experiments
+
+// BatchScale is the batched-execution extension experiment: on the same
+// community-structured graph the shard experiment uses, it measures the
+// aggregate throughput of the batched query path (one shared block push
+// per batch, multi-RHS factor sweeps) against a sequential loop of
+// single queries, and validates that the answers agree.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"kdash/internal/gen"
+	"kdash/internal/reorder"
+	"kdash/internal/shard"
+)
+
+// BatchRow is one batch-size measurement.
+type BatchRow struct {
+	Batch      int
+	Sequential time.Duration // wall clock for the batch via a TopK loop
+	Batched    time.Duration // wall clock via one TopKBatch call
+	Speedup    float64       // Sequential / Batched
+	Sharing    float64       // right-hand sides per block factor sweep
+	Agrees     bool          // batched answers match the sequential ones
+}
+
+// defaultBatchSizes is the sweep cmd/kdash-bench runs.
+var defaultBatchSizes = []int{1, 8, 64}
+
+// batchShards fixes the shard count for the batch experiment: 8 matches
+// the shard experiment's best-scaling configuration.
+const batchShards = 8
+
+// BatchScale builds one sharded index and, per batch size, times a
+// sequential single-query loop against one batched call over the same
+// query nodes. Rotating query sets keep repeated measurements honest on
+// small graphs.
+func BatchScale(cfg Config) ([]BatchRow, error) {
+	cfg = cfg.withDefaults()
+	sizes := cfg.BatchSizes
+	if sizes == nil {
+		sizes = defaultBatchSizes
+	}
+	n := cfg.ShardGraphN
+	if n == 0 {
+		n = defaultShardGraphN
+	}
+	communities := n / 100
+	if communities < 4 {
+		communities = 4
+	}
+	g := gen.CommunityOverlay(n, 3, communities, 0.995, cfg.Seed)
+	sx, err := shard.Build(g, shard.Options{Shards: batchShards, Reorder: reorder.Hybrid, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: batch build: %w", err)
+	}
+
+	rows := make([]BatchRow, 0, len(sizes))
+	for _, batch := range sizes {
+		qs := make([]int, batch)
+		for i := range qs {
+			qs[i] = (i*997 + int(cfg.Seed)) % g.N()
+		}
+
+		t0 := time.Now()
+		seq := make([][]int, batch) // node ids only; scores compared below
+		seqScores := make([][]float64, batch)
+		for i, q := range qs {
+			rs, _, err := sx.TopK(q, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			seq[i] = make([]int, len(rs))
+			seqScores[i] = make([]float64, len(rs))
+			for j, r := range rs {
+				seq[i][j] = r.Node
+				seqScores[i][j] = r.Score
+			}
+		}
+		sequential := time.Since(t0)
+
+		t1 := time.Now()
+		batched, bs, err := sx.TopKBatch(qs, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		batchTime := time.Since(t1)
+
+		row := BatchRow{
+			Batch:      batch,
+			Sequential: sequential,
+			Batched:    batchTime,
+			Speedup:    float64(sequential) / float64(batchTime),
+			Sharing:    bs.Sharing(),
+			Agrees:     true,
+		}
+		for i := range batched {
+			if len(batched[i]) != len(seq[i]) {
+				row.Agrees = false
+				continue
+			}
+			for j, r := range batched[i] {
+				if diff := r.Score - seqScores[i][j]; diff > 1e-9 || diff < -1e-9 {
+					row.Agrees = false
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteBatchRows prints the batch-scaling table.
+func WriteBatchRows(w io.Writer, rows []BatchRow) {
+	fmt.Fprintf(w, "%-7s %14s %14s %9s %9s %7s\n",
+		"batch", "sequential", "batched", "speedup", "rhs/solve", "exact")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7d %14v %14v %8.2fx %9.1f %7t\n",
+			r.Batch, r.Sequential.Round(time.Microsecond), r.Batched.Round(time.Microsecond),
+			r.Speedup, r.Sharing, r.Agrees)
+	}
+}

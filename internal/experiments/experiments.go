@@ -46,8 +46,12 @@ type Config struct {
 	// ShardCounts is the shard sweep for the sharded-index extension
 	// (default 1, 2, 4, 8).
 	ShardCounts []int
-	// ShardGraphN sizes the generated graph for the shard experiment.
+	// ShardGraphN sizes the generated graph for the shard and batch
+	// experiments.
 	ShardGraphN int
+	// BatchSizes is the batch sweep for the batched-execution extension
+	// (default 1, 8, 64).
+	BatchSizes []int
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,112 @@
+package lu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomRHSBlock builds nb dense right-hand sides, mixing sparse
+// restart-style vectors with fully dense ones so both L^{-1} code paths
+// (skip-zero and accumulate) are exercised.
+func randomRHSBlock(rng *rand.Rand, n, nb int) [][]float64 {
+	bs := make([][]float64, nb)
+	for v := range bs {
+		b := make([]float64, n)
+		if v%2 == 0 {
+			b[rng.Intn(n)] = 0.5 + rng.Float64()
+		} else {
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+		}
+		bs[v] = b
+	}
+	return bs
+}
+
+func TestSolveDenseBatchMatchesSingle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		w, _ := randomW(seed, n, 3*n, 0.8+0.19*rng.Float64())
+		fac, err := Decompose(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nb := range []int{1, 3, 7} {
+			bs := randomRHSBlock(rng, n, nb)
+			got := fac.SolveDenseBatch(bs)
+			for v := range bs {
+				want := fac.SolveDense(bs[v])
+				for i := range want {
+					if math.Abs(got[v][i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+						t.Errorf("nb=%d rhs %d entry %d: %v vs %v", nb, v, i, got[v][i], want[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveDenseBatchEmptyAndMismatch(t *testing.T) {
+	w, _ := randomW(1, 8, 20, 0.9)
+	fac, err := Decompose(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := fac.SolveDenseBatch(nil); out != nil {
+		t.Errorf("empty batch returned %v", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	fac.SolveDenseBatch([][]float64{make([]float64, 3)})
+}
+
+func TestInverseSolveBatchMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		w, _ := randomW(seed, n, 4*n, 0.8+0.19*rng.Float64())
+		fac, err := Decompose(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv := fac.Invert(Options{Workers: 1})
+		for _, nb := range []int{1, 2, 9} {
+			bs := randomRHSBlock(rng, n, nb)
+			got := inv.SolveBatch(bs)
+			// Oracle: the batch against the exact substitution solve.
+			want := fac.SolveDenseBatch(bs)
+			for v := range bs {
+				for i := range want[v] {
+					if math.Abs(got[v][i]-want[v][i]) > 1e-9*(1+math.Abs(want[v][i])) {
+						t.Errorf("nb=%d rhs %d entry %d: %v vs %v", nb, v, i, got[v][i], want[v][i])
+						return false
+					}
+				}
+			}
+			// The batch of one must agree with itself run column-wise.
+			single := inv.SolveBatch([][]float64{bs[0]})
+			for i := range single[0] {
+				if single[0][i] != got[0][i] {
+					t.Errorf("batch-of-one differs at %d: %v vs %v", i, single[0][i], got[0][i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"kdash/internal/core"
+	"kdash/internal/topk"
+)
+
+// batchQueryJSON is one query of a POST /topk/batch request.
+type batchQueryJSON struct {
+	Q       int   `json:"q"`
+	K       int   `json:"k"`
+	Exclude []int `json:"exclude,omitempty"`
+}
+
+// batchRequest is the POST /topk/batch payload.
+type batchRequest struct {
+	Queries []batchQueryJSON `json:"queries"`
+}
+
+// batchStatsJSON aggregates the batch's work on the wire.
+type batchStatsJSON struct {
+	Queries               int   `json:"queries"`
+	Visited               int64 `json:"visited"`
+	ProximityComputations int64 `json:"proximityComputations"`
+	TerminatedEarly       int64 `json:"terminatedEarly"`
+}
+
+// batchResponse is the POST /topk/batch payload: one item per query, in
+// request order, plus per-batch aggregate stats.
+type batchResponse struct {
+	Count int            `json:"count"`
+	Items []topKResponse `json:"items"`
+	Stats batchStatsJSON `json:"stats"`
+}
+
+// topKBatch handles POST /topk/batch:
+//
+//	{"queries":[{"q":3,"k":5},{"q":9,"k":5,"exclude":[9]}]}
+//
+// The whole batch is validated before any query executes — one bad entry
+// fails the request with a 400 naming it — then runs through the
+// engine's native batched path (shared per-shard factor sweeps on a
+// sharded index, shared search workspaces on a monolithic one), falling
+// back to a sequential loop for engines without one.
+func (h *Handler) topKBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	h.qBatch.Add(1)
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		h.badRequest(w, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 {
+		h.badRequest(w, "empty batch")
+		return
+	}
+	if len(req.Queries) > h.maxBatch {
+		h.badRequest(w, "batch of %d exceeds limit %d", len(req.Queries), h.maxBatch)
+		return
+	}
+	queries := make([]core.BatchQuery, len(req.Queries))
+	for i, bq := range req.Queries {
+		if bq.Q < 0 || bq.Q >= h.engine.N() {
+			h.badRequest(w, "query %d: node %d outside [0,%d)", i, bq.Q, h.engine.N())
+			return
+		}
+		if bq.K <= 0 {
+			h.badRequest(w, "query %d: k must be positive, got %d", i, bq.K)
+			return
+		}
+		q := core.BatchQuery{Q: bq.Q, K: bq.K}
+		if len(bq.Exclude) > 0 {
+			q.Exclude = make(map[int]bool, len(bq.Exclude))
+			for _, node := range bq.Exclude {
+				q.Exclude[node] = true
+			}
+		}
+		queries[i] = q
+	}
+	h.qBatchQueries.Add(int64(len(queries)))
+
+	results, stats, err := h.runBatch(queries)
+	if err != nil {
+		h.internalError(w, err)
+		return
+	}
+	resp := batchResponse{Count: len(queries), Items: make([]topKResponse, len(queries))}
+	resp.Stats.Queries = len(queries)
+	for i := range queries {
+		h.countWork(stats[i])
+		resp.Stats.Visited += int64(stats[i].Visited)
+		resp.Stats.ProximityComputations += int64(stats[i].ProximityComputations)
+		if stats[i].Terminated {
+			resp.Stats.TerminatedEarly++
+		}
+		item := topKResponse{
+			K:          len(results[i]),
+			RequestedK: queries[i].K,
+			Results:    make([]resultJSON, len(results[i])),
+			Stats: statsJSON{
+				Visited:               stats[i].Visited,
+				ProximityComputations: stats[i].ProximityComputations,
+				Terminated:            stats[i].Terminated,
+			},
+		}
+		for j, res := range results[i] {
+			item.Results[j] = resultJSON{Node: res.Node, Score: res.Score}
+		}
+		resp.Items[i] = item
+	}
+	writeJSON(w, resp)
+}
+
+// runBatch dispatches to the engine's batched path when it has one.
+func (h *Handler) runBatch(queries []core.BatchQuery) ([][]topk.Result, []core.SearchStats, error) {
+	if h.batch != nil {
+		return h.batch.SearchBatch(queries)
+	}
+	results := make([][]topk.Result, len(queries))
+	stats := make([]core.SearchStats, len(queries))
+	for i, bq := range queries {
+		rs, st, err := h.engine.Search(bq.Q, core.SearchOptions{K: bq.K, Exclude: bq.Exclude})
+		if err != nil {
+			return nil, nil, err
+		}
+		results[i], stats[i] = rs, st
+	}
+	return results, stats, nil
+}

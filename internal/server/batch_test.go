@@ -1,0 +1,234 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/reorder"
+	"kdash/internal/shard"
+)
+
+func post(t *testing.T, h http.Handler, url, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+type batchRespJSON struct {
+	Count int `json:"count"`
+	Items []struct {
+		K          int `json:"k"`
+		RequestedK int `json:"requestedK"`
+		Results    []struct {
+			Node  int     `json:"node"`
+			Score float64 `json:"score"`
+		} `json:"results"`
+	} `json:"items"`
+	Stats struct {
+		Queries int   `json:"queries"`
+		Visited int64 `json:"visited"`
+	} `json:"stats"`
+}
+
+// sameRanked compares two rankings within tol, tolerating order swaps
+// among exact-tie scores (the sharded engine may re-order ties when the
+// batch schedule changes its accumulation order).
+func sameRanked(t *testing.T, label string, got, want []struct {
+	Node  int     `json:"node"`
+	Score float64 `json:"score"`
+}, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("%s: %d vs %d results", label, len(got), len(want))
+		return
+	}
+	for i := range got {
+		if math.Abs(got[i].Score-want[i].Score) > tol {
+			t.Errorf("%s rank %d: score %v vs %v", label, i, got[i].Score, want[i].Score)
+			return
+		}
+		if got[i].Node != want[i].Node && math.Abs(got[i].Score-want[i].Score) > 0 {
+			t.Errorf("%s rank %d: node %d vs %d with differing scores", label, i, got[i].Node, want[i].Node)
+			return
+		}
+	}
+}
+
+// TestBatchEndpointMatchesSingle is the HTTP half of the batch exactness
+// property: for both engine shapes and the acceptance batch sizes,
+// POST /topk/batch items agree with per-query GET /topk.
+func TestBatchEndpointMatchesSingle(t *testing.T) {
+	g := gen.PlantedPartition(120, 4, 0.2, 0.01, 1)
+	engines := map[string]Engine{}
+	{
+		hm, _ := testHandler(t)
+		engines["monolithic"] = hm.engine
+	}
+	sx, err := shard.Build(g, shard.Options{Shards: 4, Reorder: reorder.Hybrid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines["sharded"] = sx
+
+	for name, engine := range engines {
+		h := New(engine)
+		for _, nb := range []int{1, 7, 64} {
+			var sb strings.Builder
+			sb.WriteString(`{"queries":[`)
+			qs := make([]int, nb)
+			for i := range qs {
+				qs[i] = (i * 31) % engine.N()
+				if i > 0 {
+					sb.WriteString(",")
+				}
+				fmt.Fprintf(&sb, `{"q":%d,"k":5}`, qs[i])
+			}
+			sb.WriteString(`]}`)
+			rec := post(t, h, "/topk/batch", sb.String())
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s nb=%d: status %d: %s", name, nb, rec.Code, rec.Body.String())
+			}
+			var resp batchRespJSON
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+			if resp.Count != nb || len(resp.Items) != nb || resp.Stats.Queries != nb {
+				t.Fatalf("%s nb=%d: count %d items %d statsQueries %d", name, nb, resp.Count, len(resp.Items), resp.Stats.Queries)
+			}
+			for i, q := range qs {
+				recS, _ := get(t, h, fmt.Sprintf("/topk?q=%d&k=5", q))
+				var single struct {
+					K       int `json:"k"`
+					Results []struct {
+						Node  int     `json:"node"`
+						Score float64 `json:"score"`
+					} `json:"results"`
+				}
+				if err := json.Unmarshal(recS.Body.Bytes(), &single); err != nil {
+					t.Fatal(err)
+				}
+				if resp.Items[i].K != single.K || resp.Items[i].RequestedK != 5 {
+					t.Errorf("%s nb=%d item %d: k=%d requestedK=%d, single k=%d", name, nb, i, resp.Items[i].K, resp.Items[i].RequestedK, single.K)
+				}
+				sameRanked(t, fmt.Sprintf("%s nb=%d item %d", name, nb, i), resp.Items[i].Results, single.Results, 1e-12)
+			}
+		}
+	}
+}
+
+// TestBatchEndpointExclude checks per-query exclusions apply.
+func TestBatchEndpointExclude(t *testing.T) {
+	h, _ := testHandler(t)
+	rec := post(t, h, "/topk/batch", `{"queries":[{"q":7,"k":5,"exclude":[7]},{"q":7,"k":5}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp batchRespJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resp.Items[0].Results {
+		if r.Node == 7 {
+			t.Error("excluded node 7 in first item")
+		}
+	}
+	found := false
+	for _, r := range resp.Items[1].Results {
+		if r.Node == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("query node missing from unexcluded item")
+	}
+}
+
+// noBatchEngine hides the engine's native SearchBatch so the handler's
+// sequential fallback path runs.
+type noBatchEngine struct{ Engine }
+
+func TestBatchEndpointSequentialFallback(t *testing.T) {
+	hm, _ := testHandler(t)
+	h := New(noBatchEngine{hm.engine})
+	if h.batch != nil {
+		t.Fatal("fallback engine unexpectedly batched")
+	}
+	rec := post(t, h, "/topk/batch", `{"queries":[{"q":7,"k":5},{"q":3,"k":2}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp batchRespJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 2 || len(resp.Items[0].Results) != 5 || len(resp.Items[1].Results) != 2 {
+		t.Errorf("fallback response %+v", resp)
+	}
+}
+
+// TestBatchEndpointValidation walks the malformed-batch table asserting
+// exact status codes.
+func TestBatchEndpointValidation(t *testing.T) {
+	hm, _ := testHandler(t)
+	h := New(hm.engine, WithMaxBatch(4))
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},                                                                                  // empty batch
+		{`{"queries":[]}`, http.StatusBadRequest},                                                                      // empty batch
+		{`{"queries":[{"q":1,"k":0}]}`, http.StatusBadRequest},                                                         // k = 0
+		{`{"queries":[{"q":1,"k":-3}]}`, http.StatusBadRequest},                                                        // negative k
+		{`{"queries":[{"q":-1,"k":5}]}`, http.StatusBadRequest},                                                        // negative node
+		{`{"queries":[{"q":99999,"k":5}]}`, http.StatusBadRequest},                                                     // out of range
+		{`{"queries":[{"q":1,"k":5},{"q":2}]}`, http.StatusBadRequest},                                                 // second query missing k
+		{`{"queries":[{"q":1,"k":5},{"q":2,"k":5},{"q":3,"k":5},{"q":4,"k":5},{"q":5,"k":5}]}`, http.StatusBadRequest}, // oversized
+		{`{"queries":[{"q":1,"k":5,"exclude":["x"]}]}`, http.StatusBadRequest},                                         // non-numeric exclude
+		{`{"queries":[{"q":1,"k":5}]}`, http.StatusOK},
+	} {
+		rec := post(t, h, "/topk/batch", tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("body %q: status %d, want %d (%s)", tc.body, rec.Code, tc.want, rec.Body.String())
+		}
+	}
+	req := httptest.NewRequest(http.MethodGet, "/topk/batch", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /topk/batch: status %d", rec.Code)
+	}
+}
+
+// TestBatchCountersInStatz checks /statz reports batch traffic.
+func TestBatchCountersInStatz(t *testing.T) {
+	h, _ := testHandler(t)
+	post(t, h, "/topk/batch", `{"queries":[{"q":1,"k":3},{"q":2,"k":3},{"q":3,"k":3}]}`)
+	post(t, h, "/topk/batch", `not json`)
+	rec, _ := get(t, h, "/statz")
+	var resp struct {
+		Queries struct {
+			Batch        int64 `json:"batch"`
+			BatchQueries int64 `json:"batchQueries"`
+			BadRequest   int64 `json:"badRequest"`
+			Errors       int64 `json:"errors"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Queries.Batch != 2 || resp.Queries.BatchQueries != 3 {
+		t.Errorf("batch counters = %+v", resp.Queries)
+	}
+	if resp.Queries.BadRequest != 1 || resp.Queries.Errors != 1 {
+		t.Errorf("error counters = %+v", resp.Queries)
+	}
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"kdash/internal/topk"
+)
+
+// vectorCache is a small LRU of full proximity vectors keyed by query
+// node. Proximity vectors are immutable once computed (indexes are
+// read-only), so cached entries never go stale; the only policy is
+// recency eviction. Guarded by one mutex: a hit is a map lookup plus a
+// list splice, far below the cost of the query it saves.
+type vectorCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *cacheEntry
+	m   map[int]*list.Element
+}
+
+type cacheEntry struct {
+	q   int
+	vec []float64
+}
+
+func newVectorCache(capacity int) *vectorCache {
+	return &vectorCache{cap: capacity, ll: list.New(), m: make(map[int]*list.Element, capacity)}
+}
+
+// get returns the cached vector for q, refreshing its recency. Callers
+// must treat the vector as read-only: it is shared across requests.
+func (c *vectorCache) get(q int) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[q]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).vec, true
+}
+
+// put inserts (or refreshes) q's vector, evicting the least recently
+// used entry when full.
+func (c *vectorCache) put(q int, vec []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[q]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).vec = vec
+		return
+	}
+	c.m[q] = c.ll.PushFront(&cacheEntry{q: q, vec: vec})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*cacheEntry).q)
+	}
+}
+
+func (c *vectorCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// rankVector extracts the top-k answer from a full proximity vector,
+// matching the engines' ranking semantics: zero-proximity (unreachable)
+// nodes never pad the answer, excluded nodes are barred from the heap,
+// and ties order by ascending node id.
+func rankVector(vec []float64, k int, exclude map[int]bool) []topk.Result {
+	h := topk.New(k)
+	for node, v := range vec {
+		if v > 0 && !exclude[node] {
+			h.Push(node, v)
+		}
+	}
+	return h.Results()
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestCacheHitMatchesEngine checks cached answers are identical to
+// engine answers and that hit/miss counters advance.
+func TestCacheHitMatchesEngine(t *testing.T) {
+	hPlain, ix := testHandler(t)
+	h := New(ix, WithCache(8))
+
+	want, _ := get(t, hPlain, "/topk?q=7&k=5")
+	miss, _ := get(t, h, "/topk?q=7&k=5")
+	hit, _ := get(t, h, "/topk?q=7&k=5")
+	if miss.Code != http.StatusOK || hit.Code != http.StatusOK {
+		t.Fatalf("statuses %d/%d", miss.Code, hit.Code)
+	}
+	type cachedResp struct {
+		K       int  `json:"k"`
+		Cached  bool `json:"cached"`
+		Results []struct {
+			Node  int     `json:"node"`
+			Score float64 `json:"score"`
+		} `json:"results"`
+	}
+	var wantResp, missResp, hitResp cachedResp
+	for raw, dst := range map[*cachedResp][]byte{&wantResp: want.Body.Bytes(), &missResp: miss.Body.Bytes(), &hitResp: hit.Body.Bytes()} {
+		if err := json.Unmarshal(dst, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !missResp.Cached || !hitResp.Cached {
+		t.Errorf("cached flags = %v/%v, want true/true (both served from the vector path)", missResp.Cached, hitResp.Cached)
+	}
+	if len(wantResp.Results) != len(hitResp.Results) {
+		t.Fatalf("%d vs %d results", len(wantResp.Results), len(hitResp.Results))
+	}
+	for i := range wantResp.Results {
+		if wantResp.Results[i] != hitResp.Results[i] || wantResp.Results[i] != missResp.Results[i] {
+			t.Errorf("rank %d: engine %+v, miss %+v, hit %+v", i, wantResp.Results[i], missResp.Results[i], hitResp.Results[i])
+		}
+	}
+
+	// /proximity served from the same cached vector.
+	px, _ := get(t, hPlain, "/proximity?q=7&u=9")
+	pc, _ := get(t, h, "/proximity?q=7&u=9")
+	var a, b struct {
+		Proximity float64 `json:"proximity"`
+	}
+	if err := json.Unmarshal(px.Body.Bytes(), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(pc.Body.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Proximity != b.Proximity {
+		t.Errorf("proximity %v via engine, %v via cache", a.Proximity, b.Proximity)
+	}
+
+	rec, _ := get(t, h, "/statz")
+	var statz struct {
+		Cache struct {
+			Hits    int64 `json:"hits"`
+			Misses  int64 `json:"misses"`
+			Entries int64 `json:"entries"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &statz); err != nil {
+		t.Fatal(err)
+	}
+	if statz.Cache.Misses != 1 || statz.Cache.Hits < 2 || statz.Cache.Entries != 1 {
+		t.Errorf("cache stats = %+v", statz.Cache)
+	}
+}
+
+// TestCacheEviction checks LRU order: capacity 2, three distinct nodes,
+// oldest falls out.
+func TestCacheEviction(t *testing.T) {
+	c := newVectorCache(2)
+	c.put(1, []float64{1})
+	c.put(2, []float64{2})
+	if _, ok := c.get(1); !ok { // refresh 1; 2 becomes LRU
+		t.Fatal("entry 1 missing")
+	}
+	c.put(3, []float64{3})
+	if _, ok := c.get(2); ok {
+		t.Error("LRU entry 2 survived eviction")
+	}
+	if _, ok := c.get(1); !ok {
+		t.Error("refreshed entry 1 evicted")
+	}
+	if _, ok := c.get(3); !ok {
+		t.Error("new entry 3 missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	// Re-putting an existing key refreshes, not duplicates.
+	c.put(1, []float64{10})
+	if c.len() != 2 {
+		t.Errorf("len after re-put = %d, want 2", c.len())
+	}
+	if v, _ := c.get(1); v[0] != 10 {
+		t.Errorf("re-put did not replace value: %v", v)
+	}
+}
+
+// TestCacheConcurrent hammers one handler from many goroutines; the race
+// detector ensures the cache's locking is sound.
+func TestCacheConcurrent(t *testing.T) {
+	_, ix := testHandler(t)
+	h := New(ix, WithCache(4))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				rec, _ := get(t, h, fmt.Sprintf("/topk?q=%d&k=3", (g*3+i)%6))
+				if rec.Code != http.StatusOK {
+					t.Errorf("status %d", rec.Code)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

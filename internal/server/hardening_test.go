@@ -1,0 +1,202 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kdash/internal/core"
+	"kdash/internal/graph"
+	"kdash/internal/reorder"
+	"kdash/internal/topk"
+)
+
+// brokenEngine fails or panics on demand, standing in for internal
+// faults the validation layer cannot catch.
+type brokenEngine struct {
+	n      int
+	panics bool
+}
+
+func (e *brokenEngine) N() int           { return e.n }
+func (e *brokenEngine) Restart() float64 { return 0.95 }
+func (e *brokenEngine) fail() error {
+	if e.panics {
+		panic("solve shape mismatch")
+	}
+	return errors.New("engine exploded")
+}
+func (e *brokenEngine) Search(q int, opt core.SearchOptions) ([]topk.Result, core.SearchStats, error) {
+	return nil, core.SearchStats{}, e.fail()
+}
+func (e *brokenEngine) TopKPersonalized(seeds map[int]float64, k int) ([]topk.Result, core.SearchStats, error) {
+	return nil, core.SearchStats{}, e.fail()
+}
+func (e *brokenEngine) Proximity(q, u int) (float64, error) { return 0, e.fail() }
+func (e *brokenEngine) ProximityVector(q int) ([]float64, error) {
+	return nil, e.fail()
+}
+
+// TestEngineFailureIs500 checks that failures past validation surface as
+// 500, not the blanket 400 the server used to send.
+func TestEngineFailureIs500(t *testing.T) {
+	h := New(&brokenEngine{n: 100})
+	for _, req := range []struct{ method, url, body string }{
+		{http.MethodGet, "/topk?q=1&k=5", ""},
+		{http.MethodGet, "/proximity?q=1&u=2", ""},
+		{http.MethodPost, "/personalized", `{"seeds":{"1":1},"k":3}`},
+		{http.MethodPost, "/topk/batch", `{"queries":[{"q":1,"k":3}]}`},
+	} {
+		r := httptest.NewRequest(req.method, req.url, strings.NewReader(req.body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r)
+		if rec.Code != http.StatusInternalServerError {
+			t.Errorf("%s %s: status %d, want 500 (%s)", req.method, req.url, rec.Code, rec.Body.String())
+		}
+		var body map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+			t.Errorf("%s %s: malformed error document %q", req.method, req.url, rec.Body.String())
+		}
+	}
+}
+
+// TestPanicRecovery checks a panicking engine yields a 500 response (not
+// a dead connection) and that /statz counts the panic.
+func TestPanicRecovery(t *testing.T) {
+	h := New(&brokenEngine{n: 100, panics: true})
+	rec, body := get(t, h, "/topk?q=1&k=5")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", rec.Code)
+	}
+	if _, ok := body["error"]; !ok {
+		t.Fatalf("no error field: %s", rec.Body.String())
+	}
+	srec, _ := get(t, h, "/statz")
+	var resp struct {
+		Queries struct {
+			Panics   int64 `json:"panics"`
+			Internal int64 `json:"internal"`
+			Errors   int64 `json:"errors"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(srec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Queries.Panics != 1 || resp.Queries.Internal != 1 || resp.Queries.Errors != 1 {
+		t.Errorf("counters = %+v, want one panic counted as internal", resp.Queries)
+	}
+}
+
+// TestPanicRecoveryLiveServer drives the recovery through a real
+// connection: the client must see a response, not an aborted stream.
+func TestPanicRecoveryLiveServer(t *testing.T) {
+	srv := httptest.NewServer(New(&brokenEngine{n: 100, panics: true}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/topk?q=1&k=5")
+	if err != nil {
+		t.Fatalf("connection died instead of returning a response: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", resp.StatusCode)
+	}
+}
+
+// TestMalformedInputsTable sweeps malformed requests across every
+// endpoint, asserting the exact status code for each.
+func TestMalformedInputsTable(t *testing.T) {
+	h, _ := testHandler(t) // 120-node graph
+	for _, tc := range []struct {
+		method, url, body string
+		want              int
+	}{
+		// /topk
+		{http.MethodGet, "/topk", "", http.StatusBadRequest},                     // missing params
+		{http.MethodGet, "/topk?q=1", "", http.StatusBadRequest},                 // missing k
+		{http.MethodGet, "/topk?q=1&k=0", "", http.StatusBadRequest},             // k = 0
+		{http.MethodGet, "/topk?q=1&k=-5", "", http.StatusBadRequest},            // negative k
+		{http.MethodGet, "/topk?q=-1&k=5", "", http.StatusBadRequest},            // negative node
+		{http.MethodGet, "/topk?q=120&k=5", "", http.StatusBadRequest},           // node == n
+		{http.MethodGet, "/topk?q=1&k=5&exclude=1,x", "", http.StatusBadRequest}, // non-numeric exclude
+		{http.MethodGet, "/topk?q=1&k=5&exclude=999", "", http.StatusOK},         // out-of-range exclude is harmless
+		{http.MethodPost, "/topk?q=1&k=5", "", http.StatusMethodNotAllowed},
+		// /personalized
+		{http.MethodPost, "/personalized", `{"seeds":{"1":1},"k":0}`, http.StatusBadRequest},    // k = 0
+		{http.MethodPost, "/personalized", `{"seeds":{"1":1},"k":-1}`, http.StatusBadRequest},   // negative k
+		{http.MethodPost, "/personalized", `{"seeds":{},"k":3}`, http.StatusBadRequest},         // empty seeds
+		{http.MethodPost, "/personalized", `{"k":3}`, http.StatusBadRequest},                    // missing seeds
+		{http.MethodPost, "/personalized", `{"seeds":{"x":1},"k":3}`, http.StatusBadRequest},    // non-numeric seed
+		{http.MethodPost, "/personalized", `{"seeds":{"-2":1},"k":3}`, http.StatusBadRequest},   // negative seed id
+		{http.MethodPost, "/personalized", `{"seeds":{"500":1},"k":3}`, http.StatusBadRequest},  // out-of-range seed
+		{http.MethodPost, "/personalized", `{"seeds":{"1":0},"k":3}`, http.StatusBadRequest},    // zero weight
+		{http.MethodPost, "/personalized", `{"seeds":{"1":-0.5},"k":3}`, http.StatusBadRequest}, // negative weight
+		{http.MethodPost, "/personalized", `{"seeds":{"1":1,"2":2},"k":3}`, http.StatusOK},
+		{http.MethodGet, "/personalized", "", http.StatusMethodNotAllowed},
+		// /proximity
+		{http.MethodGet, "/proximity?q=1", "", http.StatusBadRequest},       // missing u
+		{http.MethodGet, "/proximity?q=1&u=abc", "", http.StatusBadRequest}, // non-numeric u
+		{http.MethodGet, "/proximity?q=1&u=120", "", http.StatusBadRequest}, // u out of range
+		{http.MethodGet, "/proximity?q=-7&u=1", "", http.StatusBadRequest},  // q out of range
+		{http.MethodGet, "/proximity?q=1&u=2", "", http.StatusOK},
+	} {
+		r := httptest.NewRequest(tc.method, tc.url, strings.NewReader(tc.body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r)
+		if rec.Code != tc.want {
+			t.Errorf("%s %s %q: status %d, want %d (%s)", tc.method, tc.url, tc.body, rec.Code, tc.want, rec.Body.String())
+		}
+		if tc.want != http.StatusOK {
+			var body map[string]string
+			if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+				t.Errorf("%s %s: error response lacks error field: %q", tc.method, tc.url, rec.Body.String())
+			}
+		}
+	}
+}
+
+// TestActualResultCount checks the wire k reports the number of results
+// actually returned when the graph yields fewer than requested.
+func TestActualResultCount(t *testing.T) {
+	// Node 2 is unreachable from 0; only {0,1} can answer.
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := core.BuildIndex(b.Build(), core.BuildOptions{Reorder: reorder.Natural})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(ix)
+	rec, _ := get(t, h, "/topk?q=0&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		K          int `json:"k"`
+		RequestedK int `json:"requestedK"`
+		Results    []struct {
+			Node int `json:"node"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("%d results, want 2 (only 2 nodes reachable)", len(resp.Results))
+	}
+	if resp.K != 2 {
+		t.Errorf("k = %d, want the actual count 2", resp.K)
+	}
+	if resp.RequestedK != 5 {
+		t.Errorf("requestedK = %d, want 5", resp.RequestedK)
+	}
+}

@@ -4,6 +4,11 @@
 // once, then serve exact top-k answers at microsecond latency. Both the
 // monolithic core.Index and the partitioned shard.ShardedIndex plug in
 // behind the same endpoints via the Engine interface.
+//
+// The handler validates requests before they reach the engine and maps
+// failures precisely: malformed input is 400, engine failures and
+// recovered panics are 500, and both are counted separately in /statz so
+// operators can tell client noise from server trouble.
 package server
 
 import (
@@ -27,6 +32,14 @@ type Engine interface {
 	Search(q int, opt core.SearchOptions) ([]topk.Result, core.SearchStats, error)
 	TopKPersonalized(seeds map[int]float64, k int) ([]topk.Result, core.SearchStats, error)
 	Proximity(q, u int) (float64, error)
+	ProximityVector(q int) ([]float64, error)
+}
+
+// BatchEngine is implemented by engines with a native batched execution
+// path (both index shapes have one). Engines without it are served by a
+// sequential fallback, so /topk/batch works against any Engine.
+type BatchEngine interface {
+	SearchBatch(queries []core.BatchQuery) ([][]topk.Result, []core.SearchStats, error)
 }
 
 // Statser is implemented by engines that expose build-time observability
@@ -35,30 +48,80 @@ type Statser interface {
 	Statz() map[string]interface{}
 }
 
+// DefaultMaxBatch bounds /topk/batch request sizes: large enough for any
+// sane fan-out, small enough that one request cannot monopolise the
+// process.
+const DefaultMaxBatch = 1024
+
+// Option configures a Handler.
+type Option func(*Handler)
+
+// WithCache enables an LRU proximity-vector cache of the given capacity
+// (entries; <= 0 leaves caching off). Hot repeated query nodes — the
+// skewed access pattern recommender traffic has — are answered by
+// re-ranking the cached vector instead of re-running the engine. Each
+// entry holds a full n-entry vector, so capacity trades memory for hit
+// rate. Cache misses on /topk compute the full proximity vector, which
+// for the monolithic engine costs more than its pruned search: enable
+// caching for sharded engines or genuinely skewed workloads.
+func WithCache(entries int) Option {
+	return func(h *Handler) {
+		if entries > 0 {
+			h.cache = newVectorCache(entries)
+		}
+	}
+}
+
+// WithMaxBatch overrides the /topk/batch size limit (default
+// DefaultMaxBatch); <= 0 keeps the default.
+func WithMaxBatch(n int) Option {
+	return func(h *Handler) {
+		if n > 0 {
+			h.maxBatch = n
+		}
+	}
+}
+
 // Handler serves queries against one engine.
 type Handler struct {
-	engine Engine
-	mux    *http.ServeMux
-	start  time.Time
+	engine   Engine
+	batch    BatchEngine // nil: fall back to sequential Search
+	mux      *http.ServeMux
+	start    time.Time
+	maxBatch int
+	cache    *vectorCache // nil: caching disabled
 
 	// Cumulative counters, expvar-backed so they are atomic and cheap on
 	// the hot path. They are per-handler (not globally published): tests
 	// and multi-index processes may hold several handlers.
-	qTopK      expvar.Int
-	qPers      expvar.Int
-	qProx      expvar.Int
-	qErrors    expvar.Int
-	visited    expvar.Int
-	proxComps  expvar.Int
-	terminated expvar.Int
+	qTopK         expvar.Int
+	qPers         expvar.Int
+	qProx         expvar.Int
+	qBatch        expvar.Int // /topk/batch requests
+	qBatchQueries expvar.Int // queries inside those requests
+	qBadRequest   expvar.Int // 400s: client-side input problems
+	qInternal     expvar.Int // 500s: engine failures and panics
+	qPanics       expvar.Int // recovered panics (also counted in qInternal)
+	visited       expvar.Int
+	proxComps     expvar.Int
+	terminated    expvar.Int
+	cacheHits     expvar.Int
+	cacheMisses   expvar.Int
 }
 
 // New wraps an engine in an http.Handler. The engine must not be modified
 // afterwards (indexes are immutable after construction, so this is the
 // natural usage).
-func New(engine Engine) *Handler {
-	h := &Handler{engine: engine, mux: http.NewServeMux(), start: time.Now()}
+func New(engine Engine, opts ...Option) *Handler {
+	h := &Handler{engine: engine, mux: http.NewServeMux(), start: time.Now(), maxBatch: DefaultMaxBatch}
+	if be, ok := engine.(BatchEngine); ok {
+		h.batch = be
+	}
+	for _, o := range opts {
+		o(h)
+	}
 	h.mux.HandleFunc("/topk", h.topK)
+	h.mux.HandleFunc("/topk/batch", h.topKBatch)
 	h.mux.HandleFunc("/personalized", h.personalized)
 	h.mux.HandleFunc("/proximity", h.proximity)
 	h.mux.HandleFunc("/healthz", h.health)
@@ -66,13 +129,26 @@ func New(engine Engine) *Handler {
 	return h
 }
 
-// countQuery folds one query's outcome into the cumulative counters.
-func (h *Handler) countQuery(counter *expvar.Int, stats core.SearchStats, err error) {
-	counter.Add(1)
-	if err != nil {
-		h.qErrors.Add(1)
-		return
-	}
+// ServeHTTP implements http.Handler. A panic anywhere below — the shard
+// solve path asserts internal invariants with panics — is recovered into
+// a 500 and counted, instead of killing the connection with no response.
+// (If the handler had already started writing a body, the error document
+// is appended best-effort; the status line is gone either way, but the
+// connection and the process survive.)
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			h.qPanics.Add(1)
+			h.qInternal.Add(1)
+			httpError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+		}
+	}()
+	h.mux.ServeHTTP(w, r)
+}
+
+// countWork folds a successful query's per-query work into the
+// cumulative counters.
+func (h *Handler) countWork(stats core.SearchStats) {
 	h.visited.Add(int64(stats.Visited))
 	h.proxComps.Add(int64(stats.ProximityComputations))
 	if stats.Terminated {
@@ -80,9 +156,18 @@ func (h *Handler) countQuery(counter *expvar.Int, stats core.SearchStats, err er
 	}
 }
 
-// ServeHTTP implements http.Handler.
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+// badRequest reports a client-side input problem (HTTP 400).
+func (h *Handler) badRequest(w http.ResponseWriter, format string, args ...interface{}) {
+	h.qBadRequest.Add(1)
+	httpError(w, http.StatusBadRequest, fmt.Sprintf(format, args...))
+}
+
+// internalError reports an engine-side failure (HTTP 500). Requests are
+// fully validated before they reach the engine, so anything the engine
+// still rejects is a server problem, not the client's.
+func (h *Handler) internalError(w http.ResponseWriter, err error) {
+	h.qInternal.Add(1)
+	httpError(w, http.StatusInternalServerError, err.Error())
 }
 
 // resultJSON is one ranked answer on the wire.
@@ -98,11 +183,47 @@ type statsJSON struct {
 	Terminated            bool `json:"terminated"`
 }
 
-// topKResponse is the /topk and /personalized payload.
+// topKResponse is the /topk and /personalized payload. K is the number
+// of results actually returned — fewer than requested when the graph has
+// fewer reachable answers — so clients can index Results safely;
+// RequestedK echoes the request.
 type topKResponse struct {
-	K       int          `json:"k"`
-	Results []resultJSON `json:"results"`
-	Stats   statsJSON    `json:"stats"`
+	K          int          `json:"k"`
+	RequestedK int          `json:"requestedK"`
+	Results    []resultJSON `json:"results"`
+	Stats      statsJSON    `json:"stats"`
+	Cached     bool         `json:"cached,omitempty"`
+}
+
+// nodeParam parses query parameter name as a node id and range-checks it
+// against the engine.
+func (h *Handler) nodeParam(r *http.Request, name string) (int, error) {
+	v, err := intParam(r, name)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v >= h.engine.N() {
+		return 0, fmt.Errorf("node %q = %d outside [0,%d)", name, v, h.engine.N())
+	}
+	return v, nil
+}
+
+// parseExclude parses a comma-separated exclusion list. Out-of-range ids
+// are allowed (excluding a nonexistent node is harmless); non-numeric
+// ones are not.
+func parseExclude(raw string) (map[int]bool, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	exclude := map[int]bool{}
+	for _, part := range splitComma(raw) {
+		node, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad exclude id %q", part)
+		}
+		exclude[node] = true
+	}
+	return exclude, nil
 }
 
 // topK handles GET /topk?q=<node>&k=<count>[&exclude=1,2,3].
@@ -111,35 +232,59 @@ func (h *Handler) topK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	q, err := intParam(r, "q")
+	h.qTopK.Add(1)
+	q, err := h.nodeParam(r, "q")
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		h.badRequest(w, "%v", err)
 		return
 	}
 	k, err := intParam(r, "k")
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		h.badRequest(w, "%v", err)
 		return
 	}
-	opt := core.SearchOptions{K: k}
-	if raw := r.URL.Query().Get("exclude"); raw != "" {
-		opt.Exclude = map[int]bool{}
-		for _, part := range splitComma(raw) {
-			node, err := strconv.Atoi(part)
-			if err != nil {
-				httpError(w, http.StatusBadRequest, fmt.Sprintf("bad exclude id %q", part))
-				return
-			}
-			opt.Exclude[node] = true
-		}
+	if k <= 0 {
+		h.badRequest(w, "k must be positive, got %d", k)
+		return
 	}
-	results, stats, err := h.engine.Search(q, opt)
-	h.countQuery(&h.qTopK, stats, err)
+	exclude, err := parseExclude(r.URL.Query().Get("exclude"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		h.badRequest(w, "%v", err)
 		return
 	}
-	writeResults(w, k, results, stats)
+	if h.cache != nil {
+		vec, ok := h.cachedVector(w, q)
+		if !ok {
+			return // miss that failed; already reported
+		}
+		writeResults(w, k, rankVector(vec, k, exclude), core.SearchStats{}, true)
+		return
+	}
+	results, stats, err := h.engine.Search(q, core.SearchOptions{K: k, Exclude: exclude})
+	if err != nil {
+		h.internalError(w, err)
+		return
+	}
+	h.countWork(stats)
+	writeResults(w, k, results, stats, false)
+}
+
+// cachedVector returns q's proximity vector through the LRU, computing
+// and inserting it on a miss. The false return means the engine failed
+// and the error response has been written.
+func (h *Handler) cachedVector(w http.ResponseWriter, q int) ([]float64, bool) {
+	if vec, ok := h.cache.get(q); ok {
+		h.cacheHits.Add(1)
+		return vec, true
+	}
+	h.cacheMisses.Add(1)
+	vec, err := h.engine.ProximityVector(q)
+	if err != nil {
+		h.internalError(w, err)
+		return nil, false
+	}
+	h.cache.put(q, vec)
+	return vec, true
 }
 
 // personalizedRequest is the POST /personalized payload.
@@ -154,27 +299,44 @@ func (h *Handler) personalized(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	h.qPers.Add(1)
 	var req personalizedRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		h.badRequest(w, "bad JSON: %v", err)
+		return
+	}
+	if req.K <= 0 {
+		h.badRequest(w, "k must be positive, got %d", req.K)
+		return
+	}
+	if len(req.Seeds) == 0 {
+		h.badRequest(w, "empty seed set")
 		return
 	}
 	seeds := make(map[int]float64, len(req.Seeds))
 	for key, weight := range req.Seeds {
 		node, err := strconv.Atoi(key)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad seed id %q", key))
+			h.badRequest(w, "bad seed id %q", key)
+			return
+		}
+		if node < 0 || node >= h.engine.N() {
+			h.badRequest(w, "seed node %d outside [0,%d)", node, h.engine.N())
+			return
+		}
+		if weight <= 0 {
+			h.badRequest(w, "seed node %d has non-positive weight %v", node, weight)
 			return
 		}
 		seeds[node] = weight
 	}
 	results, stats, err := h.engine.TopKPersonalized(seeds, req.K)
-	h.countQuery(&h.qPers, stats, err)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		h.internalError(w, err)
 		return
 	}
-	writeResults(w, req.K, results, stats)
+	h.countWork(stats)
+	writeResults(w, req.K, results, stats, false)
 }
 
 // proximity handles GET /proximity?q=<node>&u=<node>.
@@ -183,20 +345,32 @@ func (h *Handler) proximity(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	q, err := intParam(r, "q")
+	h.qProx.Add(1)
+	q, err := h.nodeParam(r, "q")
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		h.badRequest(w, "%v", err)
 		return
 	}
-	u, err := intParam(r, "u")
+	u, err := h.nodeParam(r, "u")
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		h.badRequest(w, "%v", err)
 		return
+	}
+	// A cached vector answers the pair for free; a miss is NOT worth a
+	// full vector computation for one pair, so it falls through to the
+	// engine's single-pair path — but still counts as a miss, so the
+	// /statz hit rate reflects the real workload.
+	if h.cache != nil {
+		if vec, ok := h.cache.get(q); ok {
+			h.cacheHits.Add(1)
+			writeJSON(w, map[string]float64{"proximity": vec[u]})
+			return
+		}
+		h.cacheMisses.Add(1)
 	}
 	p, err := h.engine.Proximity(q, u)
-	h.countQuery(&h.qProx, core.SearchStats{}, err)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		h.internalError(w, err)
 		return
 	}
 	writeJSON(w, map[string]float64{"proximity": p})
@@ -226,7 +400,12 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 			"topk":         h.qTopK.Value(),
 			"personalized": h.qPers.Value(),
 			"proximity":    h.qProx.Value(),
-			"errors":       h.qErrors.Value(),
+			"batch":        h.qBatch.Value(),
+			"batchQueries": h.qBatchQueries.Value(),
+			"errors":       h.qBadRequest.Value() + h.qInternal.Value(),
+			"badRequest":   h.qBadRequest.Value(),
+			"internal":     h.qInternal.Value(),
+			"panics":       h.qPanics.Value(),
 		},
 		"work": map[string]int64{
 			"visited":               h.visited.Value(),
@@ -234,21 +413,33 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 			"terminatedEarly":       h.terminated.Value(),
 		},
 	}
+	if h.cache != nil {
+		doc["cache"] = map[string]int64{
+			"hits":    h.cacheHits.Value(),
+			"misses":  h.cacheMisses.Value(),
+			"entries": int64(h.cache.len()),
+		}
+	}
 	if s, ok := h.engine.(Statser); ok {
 		doc["index"] = s.Statz()
 	}
 	writeJSON(w, doc)
 }
 
-func writeResults(w http.ResponseWriter, k int, results []topk.Result, stats core.SearchStats) {
+// writeResults writes one answer set. The wire k is the count actually
+// returned, not the requested one, so clients indexing results cannot
+// run off the end when the graph yields fewer answers.
+func writeResults(w http.ResponseWriter, requestedK int, results []topk.Result, stats core.SearchStats, cached bool) {
 	resp := topKResponse{
-		K:       k,
-		Results: make([]resultJSON, len(results)),
+		K:          len(results),
+		RequestedK: requestedK,
+		Results:    make([]resultJSON, len(results)),
 		Stats: statsJSON{
 			Visited:               stats.Visited,
 			ProximityComputations: stats.ProximityComputations,
 			Terminated:            stats.Terminated,
 		},
+		Cached: cached,
 	}
 	for i, r := range results {
 		resp.Results[i] = resultJSON{Node: r.Node, Score: r.Score}

@@ -1,0 +1,217 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdash/internal/core"
+	"kdash/internal/gen"
+	"kdash/internal/graph"
+	"kdash/internal/rwr"
+)
+
+// rwrDefaultC mirrors rwr.DefaultRestart for the batch test tables.
+const rwrDefaultC = rwr.DefaultRestart
+
+// batchScoreTol is the acceptance tolerance for batch-vs-single answers:
+// the block push re-schedules shard solves, so scores may drift by
+// floating-point accumulation order but never by more than the push
+// tolerance, which sits far below 1e-12.
+const batchScoreTol = 1e-12
+
+// TestTopKBatchMatchesSingleSharded is the sharded half of the batch
+// exactness property: batched answers agree with per-query TopK (and,
+// transitively through the exactness suite, with the monolithic index)
+// across graph shapes, shard counts and the acceptance batch sizes.
+func TestTopKBatchMatchesSingleSharded(t *testing.T) {
+	for name, g := range testGraphs(23) {
+		for _, shards := range []int{1, 3, 6} {
+			sx := buildSharded(t, g, shards, rwrDefaultC)
+			rng := rand.New(rand.NewSource(int64(shards)))
+			for _, nb := range []int{1, 7, 64} {
+				qs := make([]int, nb)
+				for i := range qs {
+					qs[i] = rng.Intn(g.N())
+				}
+				got, bs, err := sx.TopKBatch(qs, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != nb || len(bs.PerQuery) != nb {
+					t.Fatalf("%s/%d: %d results, %d stats for %d queries", name, shards, len(got), len(bs.PerQuery), nb)
+				}
+				for i, q := range qs {
+					want, _, err := sx.TopK(q, 5)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameAnswerSet(got[i], want, batchScoreTol) {
+						t.Errorf("%s/shards=%d nb=%d query %d (node %d): batch %v vs single %v",
+							name, shards, nb, i, q, got[i], want)
+					}
+					if !bs.PerQuery[i].Converged {
+						t.Errorf("%s/shards=%d nb=%d query %d: did not converge (residual %g)",
+							name, shards, nb, i, bs.PerQuery[i].ResidualMass)
+					}
+				}
+				if bs.BlockRHS < bs.BlockSolves {
+					t.Errorf("%s/shards=%d nb=%d: BlockRHS %d < BlockSolves %d", name, shards, nb, bs.BlockRHS, bs.BlockSolves)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSharesSolves checks the point of the batch path: on a
+// clusterable graph, queries landing in the same shard share factor
+// sweeps, so the batch performs fewer block solves than the sum of
+// per-query solves.
+func TestBatchSharesSolves(t *testing.T) {
+	g := gen.PlantedPartition(200, 4, 0.25, 0.02, 5)
+	sx := buildSharded(t, g, 4, rwrDefaultC)
+	qs := make([]int, 32)
+	for i := range qs {
+		qs[i] = (i * 13) % g.N()
+	}
+	_, bs, err := sx.TopKBatch(qs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs.BlockSolves >= bs.BlockRHS {
+		t.Errorf("no sharing: %d block solves for %d right-hand sides", bs.BlockSolves, bs.BlockRHS)
+	}
+	if bs.Sharing() < 2 {
+		t.Errorf("sharing factor %.2f, want >= 2 on a 4-shard graph with 32 queries", bs.Sharing())
+	}
+}
+
+func TestTopKBatchValidation(t *testing.T) {
+	g := gen.PlantedPartition(60, 3, 0.3, 0.05, 1)
+	sx := buildSharded(t, g, 3, rwrDefaultC)
+	if _, _, err := sx.TopKBatch([]int{1, -1}, 5); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, _, err := sx.TopKBatch([]int{1, g.N()}, 5); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, _, err := sx.TopKBatch([]int{1, 2}, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if rs, bs, err := sx.TopKBatch(nil, 5); err != nil || len(rs) != 0 || len(bs.PerQuery) != 0 {
+		t.Errorf("empty batch: %v %v %v", rs, bs, err)
+	}
+}
+
+// TestSearchBatchEngineSurface drives the server-facing SearchBatch with
+// per-query exclusions and checks it against per-query Search.
+func TestSearchBatchEngineSurface(t *testing.T) {
+	g := gen.DirectedScaleFree(140, 3, 0.3, 0.4, 9)
+	sx := buildSharded(t, g, 4, rwrDefaultC)
+	queries := []core.BatchQuery{
+		{Q: 7, K: 5},
+		{Q: 7, K: 5, Exclude: map[int]bool{7: true}},
+		{Q: 40, K: 3, Exclude: map[int]bool{40: true, 41: true}},
+	}
+	got, stats, err := sx.SearchBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != len(queries) {
+		t.Fatalf("%d stats for %d queries", len(stats), len(queries))
+	}
+	for i, bq := range queries {
+		want, _, err := sx.Search(bq.Q, core.SearchOptions{K: bq.K, Exclude: bq.Exclude})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAnswerSet(got[i], want, batchScoreTol) {
+			t.Errorf("query %d: %v vs %v", i, got[i], want)
+		}
+		for _, r := range got[i] {
+			if bq.Exclude[r.Node] {
+				t.Errorf("query %d: excluded node %d in answer", i, r.Node)
+			}
+		}
+	}
+}
+
+// TestProximityEarlyTermination builds a graph of two mutually
+// unreachable halves: a pair query across the halves must answer zero
+// without solving a single shard (the pair-weighted push sees no path
+// for the mass to take), while a pair inside one half stays exact.
+func TestProximityEarlyTermination(t *testing.T) {
+	half := gen.PlantedPartition(60, 2, 0.3, 0.05, 3)
+	b := graph.NewBuilder(120)
+	for v := 0; v < 60; v++ {
+		half.OutNeighbors(v, func(u int, w float64) {
+			if err := b.AddEdge(v, u, w); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.AddEdge(v+60, u+60, w); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	g := b.Build()
+	sx := buildSharded(t, g, 4, rwrDefaultC)
+
+	// Find a cross-half pair whose shards are disconnected in the shard
+	// digraph (the halves share no edges, so any q-shard/u-shard pair
+	// from different halves is).
+	q, u := 5, 65
+	if sx.HomeShard(q) == sx.HomeShard(u) {
+		t.Fatalf("halves landed in one shard; partitioning changed")
+	}
+	x, qs := sx.pushWeighted(map[int]float64{q: sx.c}, sx.pairWeights(sx.home[u]))
+	if qs.Solves != 0 {
+		t.Errorf("cross-component pair performed %d solves, want 0", qs.Solves)
+	}
+	if xs := x[sx.home[u]]; xs != nil && xs[sx.local[u]] != 0 {
+		t.Errorf("cross-component proximity %v, want 0", xs[sx.local[u]])
+	}
+	p, err := sx.Proximity(q, u)
+	if err != nil || p != 0 {
+		t.Errorf("Proximity(%d,%d) = %v, %v; want 0", q, u, p, err)
+	}
+
+	// A within-half pair must stay exact against the monolithic oracle
+	// and cost no more solves than the full push.
+	mono := buildMono(t, g, rwrDefaultC)
+	for _, pair := range [][2]int{{5, 17}, {65, 90}, {12, 12}} {
+		want, err := mono.Proximity(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sx.Proximity(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > scoreTol {
+			t.Errorf("Proximity%v = %v, want %v", pair, got, want)
+		}
+		_, full := sx.push(map[int]float64{pair[0]: sx.c})
+		_, early := sx.pushWeighted(map[int]float64{pair[0]: sx.c}, sx.pairWeights(sx.home[pair[1]]))
+		if early.Solves > full.Solves {
+			t.Errorf("pair %v: early-terminating push used %d solves, full push %d", pair, early.Solves, full.Solves)
+		}
+	}
+}
+
+// TestPairWeights pins the weight formula's shape: weight 1 at the
+// target shard, geometric decay with distance, zero when unreachable.
+func TestPairWeights(t *testing.T) {
+	g := gen.PlantedPartition(160, 4, 0.25, 0.02, 7)
+	sx := buildSharded(t, g, 4, rwrDefaultC)
+	for su := 0; su < sx.Shards(); su++ {
+		w := sx.pairWeights(su)
+		if w[su] != 1 {
+			t.Errorf("w[target=%d] = %v, want 1", su, w[su])
+		}
+		for si, wi := range w {
+			if wi < 0 || wi > 1 {
+				t.Errorf("w[%d] = %v outside [0,1]", si, wi)
+			}
+		}
+	}
+}

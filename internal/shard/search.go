@@ -13,6 +13,7 @@ package shard
 
 import (
 	"fmt"
+	"math"
 
 	"kdash/internal/core"
 	"kdash/internal/topk"
@@ -37,6 +38,17 @@ const maxSolves = 100000
 // node id -> mass, already multiplied by c) and returns per-shard
 // accumulated proximity vectors; untouched shards stay nil.
 func (sx *ShardedIndex) push(seeds map[int]float64) ([][]float64, QueryStats) {
+	return sx.pushWeighted(seeds, nil)
+}
+
+// pushWeighted is push with optional per-shard influence weights. A nil
+// weight vector is the full push: every shard weighs 1 and the loop runs
+// until the raw residual falls under tolerance, bounding every proximity
+// entry. A weight vector (from pairWeights) discounts each shard's
+// pending mass by how much of it can ever reach the target shard, so the
+// push both prioritises relevant shards and terminates as soon as the
+// target's entries are settled, even while irrelevant mass remains.
+func (sx *ShardedIndex) pushWeighted(seeds map[int]float64, w []float64) ([][]float64, QueryStats) {
 	var qs QueryStats
 	s := len(sx.parts)
 	x := make([][]float64, s)
@@ -55,21 +67,26 @@ func (sx *ShardedIndex) push(seeds map[int]float64) ([][]float64, QueryStats) {
 	}
 	tol := sx.qtol * initial
 
-	total := initial
+	total, weighted := initial, initial
 	for {
-		// Solve the shard with the most pending mass. The total is
-		// re-summed here rather than maintained incrementally: the
+		// Solve the shard with the most pending (weighted) mass. The total
+		// is re-summed here rather than maintained incrementally: the
 		// per-shard masses are exact (assigned, not drifted), and a drifted
 		// running total can float just above the tolerance forever.
 		best, bestMass := -1, 0.0
-		total = 0
+		total, weighted = 0, 0
 		for si := 0; si < s; si++ {
 			total += resMass[si]
-			if resMass[si] > bestMass {
-				best, bestMass = si, resMass[si]
+			m := resMass[si]
+			if w != nil {
+				m *= w[si]
+			}
+			weighted += m
+			if m > bestMass {
+				best, bestMass = si, m
 			}
 		}
-		if total <= tol || best < 0 || qs.Solves >= maxSolves {
+		if weighted <= tol || best < 0 || qs.Solves >= maxSolves {
 			break
 		}
 		p := sx.parts[best]
@@ -110,7 +127,7 @@ func (sx *ShardedIndex) push(seeds map[int]float64) ([][]float64, QueryStats) {
 		}
 	}
 	qs.ResidualMass = total
-	qs.Converged = total <= tol
+	qs.Converged = weighted <= tol
 	for si := 0; si < s; si++ {
 		if resMass[si] > 0 && !solved[si] {
 			qs.ShardsPruned++
@@ -129,6 +146,9 @@ func (sx *ShardedIndex) partLen(si int) int {
 }
 
 // rank merges per-shard proximity vectors into one exact top-k answer.
+// The no-exclusions case skips the map lookup entirely: a nil-map access
+// still pays a runtime call, and rank touches every positive entry of
+// every solved shard.
 func (sx *ShardedIndex) rank(x [][]float64, k int, exclude map[int]bool) []topk.Result {
 	heap := topk.New(k)
 	for si, xs := range x {
@@ -136,6 +156,14 @@ func (sx *ShardedIndex) rank(x [][]float64, k int, exclude map[int]bool) []topk.
 			continue
 		}
 		nodes := sx.parts[si].nodes
+		if len(exclude) == 0 {
+			for lv, v := range xs {
+				if v > 0 {
+					heap.Push(nodes[lv], v)
+				}
+			}
+			continue
+		}
 		for lv, v := range xs {
 			if v > 0 {
 				g := nodes[lv]
@@ -217,12 +245,74 @@ func (sx *ShardedIndex) TopKPersonalized(seeds map[int]float64, k int) ([]topk.R
 	return sx.rank(x, k, nil), qs.searchStats(), nil
 }
 
-// Proximity computes the exact proximity of node u w.r.t. query q.
+// pairWeights bounds, per shard, how much of a unit of pending residual
+// mass can ever influence a proximity entry inside shard su, so a
+// single-pair query can stop pushing long before the global residual is
+// driven to tolerance. The bound: solving unit mass in any shard yields
+// solution mass at most 1/c (|W_s^{-1} m|_1 <= |m|_1/c), of which at most
+// (1-c)/c =: λ leaves across cut edges. Mass sitting d cut-crossings away
+// from su therefore delivers at most λ^d/(1-λ) into su over the rest of
+// the push (geometric sum over path lengths >= d), and each delivered
+// unit raises an entry of su by at most 1/c — the same 1/c the full
+// push's global bound uses, so weighting shard masses by
+//
+//	w(su) = 1,  w(s') = min(1, λ^{d(s')}/(1-λ)),  w(unreachable) = 0
+//
+// and terminating at (Σ_s w(s)·resMass[s]) <= tol preserves exactly the
+// full push's per-entry guarantee for shard su. Shards with no directed
+// cut path into su get weight zero: their mass is never solved at all,
+// which restores near-O(1) single-pair cost when q's mass cannot reach u.
+// For c <= 1/2 the geometric sum diverges and every reachable shard
+// falls back to the global weight 1.
+func (sx *ShardedIndex) pairWeights(su int) []float64 {
+	s := len(sx.parts)
+	dist := make([]int, s)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[su] = 0
+	queue := append(make([]int, 0, s), su)
+	rev := sx.reverseShardAdj()
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, p := range rev[v] {
+			if dist[p] < 0 {
+				dist[p] = dist[v] + 1
+				queue = append(queue, p)
+			}
+		}
+	}
+	lambda := (1 - sx.c) / sx.c
+	w := make([]float64, s)
+	for si := range w {
+		switch {
+		case dist[si] == 0:
+			w[si] = 1
+		case dist[si] < 0:
+			w[si] = 0
+		case lambda < 1:
+			wi := math.Pow(lambda, float64(dist[si])) / (1 - lambda)
+			if wi > 1 {
+				wi = 1
+			}
+			w[si] = wi
+		default:
+			w[si] = 1
+		}
+	}
+	return w
+}
+
+// Proximity computes the exact proximity of node u w.r.t. query q. The
+// push is weighted towards u's shard (pairWeights), so it terminates as
+// soon as that shard's entries are settled instead of driving the global
+// residual to tolerance — the single-pair analogue of the monolithic
+// index answering one pair from one row-column product.
 func (sx *ShardedIndex) Proximity(q, u int) (float64, error) {
 	if q < 0 || q >= sx.n || u < 0 || u >= sx.n {
 		return 0, fmt.Errorf("shard: node pair (%d,%d) outside [0,%d)", q, u, sx.n)
 	}
-	x, _ := sx.push(map[int]float64{q: sx.c})
+	x, _ := sx.pushWeighted(map[int]float64{q: sx.c}, sx.pairWeights(sx.home[u]))
 	xs := x[sx.home[u]]
 	if xs == nil {
 		return 0, nil

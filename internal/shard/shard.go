@@ -80,7 +80,7 @@ type BuildStats struct {
 type cutEdge struct {
 	src      int // local id in the source shard
 	dstShard int
-	dst      int // local id in the destination shard
+	dst      int     // local id in the destination shard
 	w        float64 // (1-c) * A[dst, src] under the global normalisation
 }
 
@@ -105,6 +105,63 @@ type ShardedIndex struct {
 	local []int // global node -> local id within its shard
 	parts []*part
 	stats BuildStats
+
+	// revAdj[d] lists the shards with a cut edge into shard d, the
+	// shard-granular reverse adjacency single-pair queries bound residual
+	// influence with. Derived lazily from the cut lists (Build and Load
+	// both leave it unset) and immutable afterwards.
+	revOnce sync.Once
+	revAdj  [][]int
+
+	// inTargets[si] lists the local ids of shard si that cut edges point
+	// at — the only rows a residual vector can ever be nonzero on, which
+	// the batched push spot-cleans instead of rewiping whole vectors.
+	// Same lazy-once lifecycle as revAdj.
+	inTOnce   sync.Once
+	inTargets [][]int
+}
+
+// cutTargets returns, per shard, the deduplicated local ids receiving
+// cut-edge mass, building the lists on first use.
+func (sx *ShardedIndex) cutTargets() [][]int {
+	sx.inTOnce.Do(func() {
+		s := len(sx.parts)
+		targets := make([][]int, s)
+		seen := make([][]bool, s)
+		for si := range seen {
+			seen[si] = make([]bool, sx.partLen(si))
+		}
+		for _, p := range sx.parts {
+			for _, e := range p.cuts {
+				if !seen[e.dstShard][e.dst] {
+					seen[e.dstShard][e.dst] = true
+					targets[e.dstShard] = append(targets[e.dstShard], e.dst)
+				}
+			}
+		}
+		sx.inTargets = targets
+	})
+	return sx.inTargets
+}
+
+// reverseShardAdj returns the deduplicated reverse adjacency of the
+// shard digraph, building it on first use.
+func (sx *ShardedIndex) reverseShardAdj() [][]int {
+	sx.revOnce.Do(func() {
+		s := len(sx.parts)
+		adj := make([][]int, s)
+		seen := make([]int, s) // seen[d] == si+1: edge si -> d recorded
+		for si, p := range sx.parts {
+			for _, e := range p.cuts {
+				if seen[e.dstShard] != si+1 {
+					seen[e.dstShard] = si + 1
+					adj[e.dstShard] = append(adj[e.dstShard], si)
+				}
+			}
+		}
+		sx.revAdj = adj
+	})
+	return sx.revAdj
 }
 
 // Build partitions the graph and builds one K-dash index per partition

@@ -60,6 +60,18 @@ type Options = core.BuildOptions
 // used by the paper's ablation figures.
 type SearchOptions = core.SearchOptions
 
+// BatchQuery is one query of a batched execution. Both index shapes
+// answer blocks of queries through SearchBatch/TopKBatch: the monolithic
+// Index shares its search workspaces across the block, the ShardedIndex
+// runs one shared cross-shard push whose per-shard factor sweeps are
+// amortised over every query with residual mass in the shard.
+type BatchQuery = core.BatchQuery
+
+// ShardBatchStats reports block-level work for one batched sharded
+// execution (factor sweeps performed vs right-hand sides shared into
+// them).
+type ShardBatchStats = shard.BatchStats
+
 // SearchStats reports per-query work: nodes visited, exact proximity
 // computations, and whether pruning terminated the search early.
 type SearchStats = core.SearchStats
