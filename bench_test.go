@@ -68,6 +68,7 @@ func BenchmarkFigure2KDash(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/K=%d", name, k), func(b *testing.B) {
 				ix := benchIndex(b, name)
 				n := ix.N()
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, _, err := ix.TopK(i%n, k); err != nil {
@@ -89,6 +90,7 @@ func BenchmarkFigure2NBLin(b *testing.B) {
 					b.Fatal(err)
 				}
 				n := d.Graph.N()
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := nb.TopK(i%n, 5); err != nil {
@@ -110,6 +112,7 @@ func BenchmarkFigure2BPA(b *testing.B) {
 					b.Fatal(err)
 				}
 				n := d.Graph.N()
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, _, err := ix.TopK(i%n, k); err != nil {
@@ -330,6 +333,7 @@ func BenchmarkShardedTopK(b *testing.B) {
 			}
 			n := sx.N()
 			solved := 0
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_, st, err := sx.TopK((i*997)%n, 10)
@@ -367,6 +371,7 @@ func BenchmarkBatchTopK(b *testing.B) {
 			qs[i] = (i * 997) % sx.N()
 		}
 		b.Run(fmt.Sprintf("sequential/batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				for _, q := range qs {
 					if _, _, err := sx.TopK(q, k); err != nil {
@@ -376,6 +381,7 @@ func BenchmarkBatchTopK(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("batched/batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
 			var sharing float64
 			for i := 0; i < b.N; i++ {
 				_, bs, err := sx.TopKBatch(qs, k)

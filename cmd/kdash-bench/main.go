@@ -9,15 +9,23 @@
 //	kdash-bench -exp fig5 -queries 5
 //	kdash-bench -exp shards -shards 1,4,8 -shard-nodes 50000
 //	kdash-bench -exp batch -batches 1,8,64 -shard-nodes 50000
+//	kdash-bench -exp shards -json                 # also write BENCH_shards.json
+//	kdash-bench -exp fig2 -cpuprofile cpu.out     # pprof the run
 //
 // Output is printed as plain tables; EXPERIMENTS.md records a reference
-// run next to the paper's reported trends.
+// run next to the paper's reported trends. With -json, each experiment
+// additionally writes machine-readable rows to BENCH_<exp>.json so the
+// perf trajectory can be tracked across commits (CI uploads these as
+// artifacts).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -32,6 +40,9 @@ func main() {
 		shards     = flag.String("shards", "1,2,4,8", "shard counts for -exp shards")
 		shardNodes = flag.Int("shard-nodes", 0, "graph size for -exp shards/batch (0 = default 50000)")
 		batches    = flag.String("batches", "1,8,64", "batch sizes for -exp batch")
+		jsonOut    = flag.Bool("json", false, "also write each experiment's rows to BENCH_<exp>.json")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	flag.Parse()
 	shardCounts, err := parseInts(*shards)
@@ -48,6 +59,45 @@ func main() {
 		}
 		return false
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		// Every exit path (check -> os.Exit, unknown -exp, normal return)
+		// runs through stopProfile, so the profile is always flushed and
+		// readable — a defer would be skipped by os.Exit.
+		stopProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			stopProfile = func() {}
+		}
+		defer stopProfile()
+	}
+	// emit writes one experiment's machine-readable rows when -json is on.
+	// The config block makes every file self-describing, so a committed
+	// reference run clobbered by a smaller local/CI run is visible at a
+	// glance (and in review).
+	emit := func(name string, rows interface{}) {
+		if !*jsonOut {
+			return
+		}
+		path := fmt.Sprintf("BENCH_%s.json", name)
+		doc := map[string]interface{}{
+			"experiment": name,
+			"config": map[string]interface{}{
+				"queries":    *queries,
+				"seed":       *seed,
+				"shards":     shardCounts,
+				"shardNodes": *shardNodes,
+				"batches":    batchSizes,
+			},
+			"rows": rows,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		check(err)
+		check(os.WriteFile(path, append(data, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", path)
+	}
 	any := false
 	// Figures 3/4 and 5/6 share a computation; emit both tables from one
 	// pass when either is requested.
@@ -57,6 +107,7 @@ func main() {
 		rows, err := experiments.Figure2(cfg)
 		check(err)
 		experiments.WriteTimingRows(os.Stdout, rows)
+		emit("fig2", rows)
 	}
 	if run("fig3") || run("fig4") {
 		any = true
@@ -64,6 +115,7 @@ func main() {
 		rows, err := experiments.Figure3and4(cfg)
 		check(err)
 		experiments.WriteSweepRows(os.Stdout, rows)
+		emit("fig3and4", rows)
 	}
 	if run("fig5") || run("fig6") {
 		any = true
@@ -71,6 +123,7 @@ func main() {
 		rows, err := experiments.Figure5and6(cfg)
 		check(err)
 		experiments.WriteReorderRows(os.Stdout, rows)
+		emit("fig5and6", rows)
 	}
 	if run("fig7") {
 		any = true
@@ -78,6 +131,7 @@ func main() {
 		rows, err := experiments.Figure7(cfg)
 		check(err)
 		experiments.WritePruningRows(os.Stdout, rows)
+		emit("fig7", rows)
 	}
 	if run("fig9") {
 		any = true
@@ -85,6 +139,7 @@ func main() {
 		rows, err := experiments.Figure9(cfg)
 		check(err)
 		experiments.WriteRootRows(os.Stdout, rows)
+		emit("fig9", rows)
 	}
 	if run("table2") {
 		any = true
@@ -92,6 +147,7 @@ func main() {
 		rows, err := experiments.Table2(cfg)
 		check(err)
 		experiments.WriteCaseStudyRows(os.Stdout, rows)
+		emit("table2", rows)
 	}
 	if run("csweep") {
 		any = true
@@ -99,6 +155,7 @@ func main() {
 		rows, err := experiments.CSweep(cfg)
 		check(err)
 		experiments.WriteCSweepRows(os.Stdout, rows)
+		emit("csweep", rows)
 	}
 	if run("ablation") {
 		any = true
@@ -106,6 +163,7 @@ func main() {
 		rows, err := experiments.DropTolAblation(cfg)
 		check(err)
 		experiments.WriteAblationRows(os.Stdout, rows)
+		emit("ablation", rows)
 	}
 	if run("shards") {
 		any = true
@@ -113,6 +171,7 @@ func main() {
 		rows, err := experiments.ShardScale(cfg)
 		check(err)
 		experiments.WriteShardRows(os.Stdout, rows)
+		emit("shards", rows)
 	}
 	if run("batch") {
 		any = true
@@ -120,11 +179,20 @@ func main() {
 		rows, err := experiments.BatchScale(cfg)
 		check(err)
 		experiments.WriteBatchRows(os.Stdout, rows)
+		emit("batch", rows)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kdash-bench: unknown experiment %q\n", *exp)
 		flag.Usage()
+		stopProfile()
 		os.Exit(2)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		check(err)
+		runtime.GC() // settle live heap before the snapshot
+		check(pprof.WriteHeapProfile(f))
+		check(f.Close())
 	}
 }
 
@@ -148,9 +216,14 @@ func section(title string) {
 	fmt.Printf("\n== %s ==\n", title)
 }
 
+// stopProfile flushes an in-progress CPU profile; main swaps in the real
+// implementation when -cpuprofile is set.
+var stopProfile = func() {}
+
 func check(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kdash-bench:", err)
+		stopProfile()
 		os.Exit(1)
 	}
 }

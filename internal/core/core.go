@@ -72,20 +72,32 @@ type Index struct {
 	amaxCol []float64 // Amax(u): max element of column u of A
 	selfA   []float64 // A_uu, for the c' factor of Definition 1
 
-	// uinvCol is U^{-1} transposed to column form, built lazily for the
-	// batch solver's support-driven apply (it lets a solve whose L^{-1}
-	// workspace touches few rows skip the full row sweep). Immutable once
-	// built; never serialised — loads rebuild it on first batched query.
-	uinvColOnce sync.Once
-	uinvCol     *sparse.CSC
+	// invFac lazily rebinds the inverse factors as an lu.Inverse so the
+	// single-lane sparse kernel (lu.SparseSolver) and the batch solver
+	// share one lazily transposed U^{-1} (built on first support-driven
+	// apply; never serialised — loads rebuild it on first use).
+	invFacOnce sync.Once
+	invFac     *lu.Inverse
+
+	// swPool recycles tree-search workspaces and sparsePool single-lane
+	// solvers across queries, so the steady-state query path performs no
+	// O(n) allocation. Both are concurrency-safe checkouts: every request
+	// takes a private instance and returns it when done.
+	swPool     sync.Pool
+	sparsePool sync.Pool
 
 	stats BuildStats
 }
 
+// inverseFactors returns the index's factors as an lu.Inverse, built once.
+func (ix *Index) inverseFactors() *lu.Inverse {
+	ix.invFacOnce.Do(func() { ix.invFac = &lu.Inverse{N: ix.n, Linv: ix.linv, Uinv: ix.uinv} })
+	return ix.invFac
+}
+
 // uinvByColumn returns U^{-1} in column-major form, building it once.
 func (ix *Index) uinvByColumn() *sparse.CSC {
-	ix.uinvColOnce.Do(func() { ix.uinvCol = ix.uinv.ToCSC() })
-	return ix.uinvCol
+	return ix.inverseFactors().UinvByColumn()
 }
 
 // BuildIndex precomputes a K-dash index for the graph.
@@ -218,9 +230,26 @@ func (ix *Index) newSearchWS() *searchWS {
 	}
 }
 
-// Search runs a query with full control over the search strategy.
+// getSearchWS checks a clean search workspace out of the pool (queries
+// leave their workspace spot-cleaned, so pooled instances are reusable
+// as-is); putSearchWS returns it.
+func (ix *Index) getSearchWS() *searchWS {
+	if sw, ok := ix.swPool.Get().(*searchWS); ok {
+		return sw
+	}
+	return ix.newSearchWS()
+}
+
+func (ix *Index) putSearchWS(sw *searchWS) { ix.swPool.Put(sw) }
+
+// Search runs a query with full control over the search strategy. The
+// workspace comes from a per-index pool, so a steady-state query
+// allocates only its result set.
 func (ix *Index) Search(q int, opt SearchOptions) ([]topk.Result, SearchStats, error) {
-	return ix.search(q, opt, ix.newSearchWS())
+	sw := ix.getSearchWS()
+	results, stats, err := ix.search(q, opt, sw)
+	ix.putSearchWS(sw)
+	return results, stats, err
 }
 
 // search runs one query against a caller-supplied workspace, leaving the
@@ -285,7 +314,8 @@ func (ix *Index) SearchBatch(queries []BatchQuery) ([][]topk.Result, []SearchSta
 			return nil, nil, fmt.Errorf("core: batch query %d: K must be positive, got %d", i, bq.K)
 		}
 	}
-	sw := ix.newSearchWS()
+	sw := ix.getSearchWS()
+	defer ix.putSearchWS(sw)
 	results := make([][]topk.Result, len(queries))
 	stats := make([]SearchStats, len(queries))
 	for i, bq := range queries {
@@ -360,8 +390,9 @@ func (ix *Index) TopKPersonalized(seeds map[int]float64, k int) ([]topk.Result, 
 		weight[qi] = w / total
 	}
 	sort.Ints(internal)
-	// Accumulate L^{-1} r into the workspace.
-	sw := ix.newSearchWS()
+	// Accumulate L^{-1} r into a pooled workspace, spot-cleaning the
+	// scattered columns afterwards so the workspace goes back clean.
+	sw := ix.getSearchWS()
 	for _, qi := range internal {
 		wq := weight[qi]
 		for i := ix.linv.ColPtr[qi]; i < ix.linv.ColPtr[qi+1]; i++ {
@@ -370,6 +401,12 @@ func (ix *Index) TopKPersonalized(seeds map[int]float64, k int) ([]topk.Result, 
 	}
 	heap := topk.New(k)
 	ix.searchTree(internal, heap, sw, SearchOptions{K: k}, nil, &stats)
+	for _, qi := range internal {
+		for i := ix.linv.ColPtr[qi]; i < ix.linv.ColPtr[qi+1]; i++ {
+			sw.ws[ix.linv.RowIdx[i]] = 0
+		}
+	}
+	ix.putSearchWS(sw)
 	results := heap.Results()
 	for i := range results {
 		results[i].Node = ix.inv[results[i].Node]
@@ -836,9 +873,9 @@ func (bs *BatchSolver) applyUpperScatter(support []int, scatterEntries int, ws [
 	// below re-zeroes every row it reads.
 	ob := bs.ob[:n*blockWidth]
 	// The scatter must visit columns ascending (it keeps the summation
-	// order identical to the row sweep). Beyond a few dozen rows a
-	// linear scan of the flags beats sorting the list.
-	if len(support) >= 64 {
+	// order identical to the row sweep); lu.PreferFlagScan decides scan
+	// vs sort with the same cost model as the single-lane kernel.
+	if lu.PreferFlagScan(len(support), n) {
 		support = support[:0]
 		for r := 0; r < n; r++ {
 			if bs.mark[r] {
@@ -921,28 +958,48 @@ func (ix *Index) Statz() map[string]interface{} {
 
 // ProximityVector computes the full exact proximity vector for q through
 // the factors (Equation (3)): p = c U^{-1} L^{-1} e_q. Results are in
-// original node-id order.
+// original node-id order. The solve runs through a pooled single-lane
+// sparse solver, so only the returned vector is allocated and only the
+// factor entries the query's support reaches are traversed.
 func (ix *Index) ProximityVector(q int) ([]float64, error) {
 	if q < 0 || q >= ix.n {
 		return nil, fmt.Errorf("core: query node %d outside [0,%d)", q, ix.n)
 	}
-	qi := ix.perm[q]
-	ws := make([]float64, ix.n)
-	ix.linv.Col(qi).Scatter(ws)
-	out := make([]float64, ix.n)
-	for u := 0; u < ix.n; u++ {
-		out[ix.inv[u]] = ix.proximity(u, ws)
+	s := ix.getSparseSolver()
+	y, sup, err := s.SolveSparse([]int{q}, []float64{1})
+	if err != nil {
+		return nil, err
 	}
+	out := make([]float64, ix.n)
+	if sup == nil {
+		for u, v := range y {
+			out[u] = ix.c * v
+		}
+	} else {
+		for _, u := range sup {
+			out[u] = ix.c * y[u]
+		}
+	}
+	ix.putSparseSolver(s)
 	return out, nil
 }
 
-// Proximity computes the single exact proximity of node u w.r.t. query q.
+// Proximity computes the single exact proximity of node u w.r.t. query q
+// through a pooled workspace: one L^{-1} column scatter, one U^{-1} row
+// dot, no allocation.
 func (ix *Index) Proximity(q, u int) (float64, error) {
 	if q < 0 || q >= ix.n || u < 0 || u >= ix.n {
 		return 0, fmt.Errorf("core: node pair (%d,%d) outside [0,%d)", q, u, ix.n)
 	}
 	qi := ix.perm[q]
-	ws := make([]float64, ix.n)
-	ix.linv.Col(qi).Scatter(ws)
-	return ix.proximity(ix.perm[u], ws), nil
+	sw := ix.getSearchWS()
+	for i := ix.linv.ColPtr[qi]; i < ix.linv.ColPtr[qi+1]; i++ {
+		sw.ws[ix.linv.RowIdx[i]] = ix.linv.Val[i]
+	}
+	p := ix.proximity(ix.perm[u], sw.ws)
+	for i := ix.linv.ColPtr[qi]; i < ix.linv.ColPtr[qi+1]; i++ {
+		sw.ws[ix.linv.RowIdx[i]] = 0
+	}
+	ix.putSearchWS(sw)
+	return p, nil
 }

@@ -1,0 +1,97 @@
+package core
+
+// Single-lane sparse solver: the latency-critical counterpart of the
+// 8-lane BatchSolver. It folds the node permutation around
+// lu.SparseSolver's support-tracked kernel, so a solve whose right-hand
+// side reaches a fraction of the factors costs a proportional fraction
+// to run — no O(n) allocation, zeroing or sweeping per call. This is the
+// kernel the sharded cross-shard push bottoms out in for every
+// single-query TopK and every /topk request.
+
+import (
+	"fmt"
+
+	"kdash/internal/lu"
+)
+
+// SparseSolver runs repeated single right-hand-side solves against one
+// index, recycling all workspaces across calls. Not safe for concurrent
+// use; Index pools instances (see ProximityVector) and internal/shard
+// checks one out per query.
+type SparseSolver struct {
+	ix   *Index
+	ls   *lu.SparseSolver
+	iidx []int     // internal-id right-hand side, mapped per call
+	out  []float64 // original-id order; valid only on the returned support
+	osup []int     // original-id support scratch
+}
+
+// NewSparseSolver returns a reusable single-lane solver for the index.
+func (ix *Index) NewSparseSolver() *SparseSolver {
+	return &SparseSolver{ix: ix, ls: ix.inverseFactors().NewSparseSolver()}
+}
+
+// getSparseSolver checks a solver out of the per-index pool;
+// putSparseSolver returns it. Pooled solvers retain their workspaces, so
+// a steady-state checkout allocates nothing.
+func (ix *Index) getSparseSolver() *SparseSolver {
+	if s, ok := ix.sparsePool.Get().(*SparseSolver); ok {
+		return s
+	}
+	return ix.NewSparseSolver()
+}
+
+func (ix *Index) putSparseSolver(s *SparseSolver) { ix.sparsePool.Put(s) }
+
+// SolveSparse computes y = W^{-1} r exactly like Index.Solve, with the
+// right-hand side given sparsely as parallel (idx, val) slices over
+// original node ids, idx strictly ascending. It returns the solution in
+// original node-id order plus its support: the rows written by this
+// call, unordered. Rows outside the support hold stale values from
+// earlier calls — not zeros — so callers must restrict reads to the
+// support. A nil support means every row was written. Both slices are
+// valid only until the next call. Values are bit-identical to
+// Index.Solve on the equivalent dense right-hand side (and therefore to
+// BatchSolver.SolveOn's lanes).
+func (s *SparseSolver) SolveSparse(idx []int, val []float64) ([]float64, []int, error) {
+	ix := s.ix
+	if len(idx) != len(val) {
+		return nil, nil, fmt.Errorf("core: sparse rhs has %d indices but %d values", len(idx), len(val))
+	}
+	if s.out == nil {
+		s.out = make([]float64, ix.n)
+		// Non-nil even when empty: nil means "every row written".
+		s.osup = make([]int, 0, 64)
+	}
+	// Map to internal ids in caller order — ascending original ids, the
+	// accumulation order Solve's dense scan uses.
+	iidx := s.iidx[:0]
+	prev := -1
+	for _, u := range idx {
+		if u < 0 || u >= ix.n {
+			return nil, nil, fmt.Errorf("core: sparse rhs node %d outside [0,%d)", u, ix.n)
+		}
+		if u <= prev {
+			return nil, nil, fmt.Errorf("core: sparse rhs indices must be strictly ascending (%d after %d)", u, prev)
+		}
+		prev = u
+		iidx = append(iidx, ix.perm[u])
+	}
+	s.iidx = iidx
+
+	y, sup := s.ls.Solve(iidx, val)
+	if sup == nil {
+		for u := 0; u < ix.n; u++ {
+			s.out[ix.inv[u]] = y[u]
+		}
+		return s.out, nil, nil
+	}
+	osup := s.osup[:0]
+	for _, u := range sup {
+		ou := ix.inv[u]
+		s.out[ou] = y[u]
+		osup = append(osup, ou)
+	}
+	s.osup = osup
+	return s.out, osup, nil
+}

@@ -316,6 +316,17 @@ type Inverse struct {
 	N    int
 	Linv *sparse.CSC
 	Uinv *sparse.CSR
+
+	// uinvCol is U^{-1} transposed to column form, built lazily for the
+	// support-driven applies (SparseSolver and core's batch kernel reach
+	// it through UinvByColumn). Immutable once built; never serialised.
+	// uinvColSize holds just the per-column entry counts, built even more
+	// lazily-cheaply so the scatter-vs-sweep decision never forces the
+	// full transpose.
+	uinvColOnce     sync.Once
+	uinvCol         *sparse.CSC
+	uinvColSizeOnce sync.Once
+	uinvColSize     []int
 }
 
 // NNZ reports total stored entries across both inverse factors, the

@@ -156,10 +156,30 @@ func (sx *ShardedIndex) pushBatch(seeds []map[int]float64) ([][][]float64, Batch
 		bs.BlockRHS += len(members)
 		// Per-member bookkeeping: the consumed residual is spot-cleaned
 		// over its possible support (cut targets plus the query's seeds).
-		for _, b := range members {
+		// NodesEvaluated counts the owned rows the block kernel actually
+		// evaluated for this lane: the chunk's *shared* support (every
+		// lane of a chunk is computed on the union of its members'
+		// supports), or the whole shard for a dense solve. It can
+		// therefore read higher than the same query's single-TopK count,
+		// whose solve evaluates only that query's own support.
+		lastChunk, lastEval := -1, 0
+		for j, b := range members {
+			if jc := j - j%core.BlockWidth; jc != lastChunk {
+				lastChunk = jc
+				if sup := sups[jc]; sup != nil {
+					lastEval = 0
+					for _, lv := range sup {
+						if lv < len(p.nodes) {
+							lastEval++
+						}
+					}
+				} else {
+					lastEval = len(p.nodes)
+				}
+			}
 			qs := &bs.PerQuery[b]
 			qs.Solves++
-			qs.NodesEvaluated += len(p.nodes)
+			qs.NodesEvaluated += lastEval
 			if x[b][best] == nil {
 				x[b][best] = make([]float64, len(p.nodes))
 				qs.ShardsSolved++

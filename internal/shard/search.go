@@ -14,6 +14,7 @@ package shard
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"kdash/internal/core"
 	"kdash/internal/topk"
@@ -24,7 +25,7 @@ type QueryStats struct {
 	Solves         int     // per-shard factor solves performed
 	ShardsSolved   int     // distinct shards solved at least once
 	ShardsPruned   int     // shards with pending inflow never solved
-	NodesEvaluated int     // proximity values computed (summed solve sizes)
+	NodesEvaluated int     // proximity values computed (summed solve support sizes)
 	ResidualMass   float64 // unprocessed mass at termination
 	Converged      bool    // residual fell below tolerance
 }
@@ -48,91 +49,18 @@ func (sx *ShardedIndex) push(seeds map[int]float64) ([][]float64, QueryStats) {
 // pending mass by how much of it can ever reach the target shard, so the
 // push both prioritises relevant shards and terminates as soon as the
 // target's entries are settled, even while irrelevant mass remains.
+//
+// The returned vectors are caller-owned copies; the hot query paths
+// (TopK, Proximity, ProximityVector) consume the pooled push state
+// directly instead and never materialise.
 func (sx *ShardedIndex) pushWeighted(seeds map[int]float64, w []float64) ([][]float64, QueryStats) {
-	var qs QueryStats
-	s := len(sx.parts)
-	x := make([][]float64, s)
-	res := make([][]float64, s)
-	resMass := make([]float64, s)
-	solved := make([]bool, s)
-	initial := 0.0
+	st := sx.getPushState()
 	for g, m := range seeds {
-		si := sx.home[g]
-		if res[si] == nil {
-			res[si] = make([]float64, sx.partLen(si))
-		}
-		res[si][sx.local[g]] += m
-		resMass[si] += m
-		initial += m
+		st.seed(g, m)
 	}
-	tol := sx.qtol * initial
-
-	total, weighted := initial, initial
-	for {
-		// Solve the shard with the most pending (weighted) mass. The total
-		// is re-summed here rather than maintained incrementally: the
-		// per-shard masses are exact (assigned, not drifted), and a drifted
-		// running total can float just above the tolerance forever.
-		best, bestMass := -1, 0.0
-		total, weighted = 0, 0
-		for si := 0; si < s; si++ {
-			total += resMass[si]
-			m := resMass[si]
-			if w != nil {
-				m *= w[si]
-			}
-			weighted += m
-			if m > bestMass {
-				best, bestMass = si, m
-			}
-		}
-		if weighted <= tol || best < 0 || qs.Solves >= maxSolves {
-			break
-		}
-		p := sx.parts[best]
-		y, err := p.ix.Solve(res[best])
-		if err != nil {
-			panic(fmt.Sprintf("shard: internal solve shape mismatch: %v", err)) // sized by partLen; unreachable
-		}
-		qs.Solves++
-		qs.NodesEvaluated += len(p.nodes)
-		if x[best] == nil {
-			x[best] = make([]float64, len(p.nodes))
-			qs.ShardsSolved++
-		}
-		solved[best] = true
-		for lv := range p.nodes {
-			x[best][lv] += y[lv]
-		}
-		// Reset this shard's residual, then scatter the solved mass across
-		// its cut edges.
-		for i := range res[best] {
-			res[best][i] = 0
-		}
-		resMass[best] = 0
-		for lv := range p.nodes {
-			yv := y[lv]
-			if yv == 0 {
-				continue
-			}
-			for ci := p.cutPtr[lv]; ci < p.cutPtr[lv+1]; ci++ {
-				e := p.cuts[ci]
-				if res[e.dstShard] == nil {
-					res[e.dstShard] = make([]float64, sx.partLen(e.dstShard))
-				}
-				add := e.w * yv
-				res[e.dstShard][e.dst] += add
-				resMass[e.dstShard] += add
-			}
-		}
-	}
-	qs.ResidualMass = total
-	qs.Converged = weighted <= tol
-	for si := 0; si < s; si++ {
-		if resMass[si] > 0 && !solved[si] {
-			qs.ShardsPruned++
-		}
-	}
+	qs := st.run(w)
+	x := st.materialize()
+	sx.putPushState(st)
 	return x, qs
 }
 
@@ -145,10 +73,12 @@ func (sx *ShardedIndex) partLen(si int) int {
 	return len(p.nodes)
 }
 
-// rank merges per-shard proximity vectors into one exact top-k answer.
-// The no-exclusions case skips the map lookup entirely: a nil-map access
-// still pays a runtime call, and rank touches every positive entry of
-// every solved shard.
+// rank merges per-shard proximity vectors into one exact top-k answer —
+// the batched path's merge, which gets dense materialised vectors. (The
+// single-query path ranks from the pooled state's touched lists instead;
+// see pushState.rank.) The no-exclusions case skips the map lookup
+// entirely: a nil-map access still pays a runtime call, and rank touches
+// every positive entry of every solved shard.
 func (sx *ShardedIndex) rank(x [][]float64, k int, exclude map[int]bool) []topk.Result {
 	heap := topk.New(k)
 	for si, xs := range x {
@@ -192,8 +122,12 @@ func (sx *ShardedIndex) topK(q, k int, exclude map[int]bool) ([]topk.Result, Que
 	if k <= 0 {
 		return nil, qs, fmt.Errorf("shard: K must be positive, got %d", k)
 	}
-	x, qs := sx.push(map[int]float64{q: sx.c})
-	return sx.rank(x, k, exclude), qs, nil
+	st := sx.getPushState()
+	st.seed(q, sx.c)
+	qs = st.run(nil)
+	results := st.rank(k, exclude)
+	sx.putPushState(st)
+	return results, qs, nil
 }
 
 // Search serves a query through the core.SearchOptions surface so a
@@ -237,24 +171,42 @@ func (sx *ShardedIndex) TopKPersonalized(seeds map[int]float64, k int) ([]topk.R
 		}
 		total += w
 	}
-	scaled := make(map[int]float64, len(seeds))
+	st := sx.getPushState()
 	for node, w := range seeds {
-		scaled[node] += sx.c * w / total
+		st.seed(node, sx.c*w/total)
 	}
-	x, qs := sx.push(scaled)
-	return sx.rank(x, k, nil), qs.searchStats(), nil
+	qs = st.run(nil)
+	results := st.rank(k, nil)
+	sx.putPushState(st)
+	return results, qs.searchStats(), nil
 }
 
-// pairWeights bounds, per shard, how much of a unit of pending residual
-// mass can ever influence a proximity entry inside shard su, so a
-// single-pair query can stop pushing long before the global residual is
-// driven to tolerance. The bound: solving unit mass in any shard yields
-// solution mass at most 1/c (|W_s^{-1} m|_1 <= |m|_1/c), of which at most
-// (1-c)/c =: λ leaves across cut edges. Mass sitting d cut-crossings away
-// from su therefore delivers at most λ^d/(1-λ) into su over the rest of
-// the push (geometric sum over path lengths >= d), and each delivered
-// unit raises an entry of su by at most 1/c — the same 1/c the full
-// push's global bound uses, so weighting shard masses by
+// pairWeights returns the weight vector for target shard su, memoized
+// per target shard on the index: before the memo every Proximity(q,u)
+// call redid the reverse shard BFS and weight computation from scratch.
+// Concurrent first calls may compute the (identical, immutable) vector
+// twice; one of the stores wins and every later call hits the cache.
+func (sx *ShardedIndex) pairWeights(su int) []float64 {
+	sx.pairWOnce.Do(func() { sx.pairW = make([]atomic.Pointer[[]float64], len(sx.parts)) })
+	if w := sx.pairW[su].Load(); w != nil {
+		return *w
+	}
+	w := sx.computePairWeights(su)
+	sx.pairW[su].Store(&w)
+	return w
+}
+
+// computePairWeights bounds, per shard, how much of a unit of pending
+// residual mass can ever influence a proximity entry inside shard su, so
+// a single-pair query can stop pushing long before the global residual
+// is driven to tolerance. The bound: solving unit mass in any shard
+// yields solution mass at most 1/c (|W_s^{-1} m|_1 <= |m|_1/c), of which
+// at most (1-c)/c =: λ leaves across cut edges. Mass sitting d
+// cut-crossings away from su therefore delivers at most λ^d/(1-λ) into
+// su over the rest of the push (geometric sum over path lengths >= d),
+// and each delivered unit raises an entry of su by at most 1/c — the
+// same 1/c the full push's global bound uses, so weighting shard masses
+// by
 //
 //	w(su) = 1,  w(s') = min(1, λ^{d(s')}/(1-λ)),  w(unreachable) = 0
 //
@@ -264,7 +216,7 @@ func (sx *ShardedIndex) TopKPersonalized(seeds map[int]float64, k int) ([]topk.R
 // which restores near-O(1) single-pair cost when q's mass cannot reach u.
 // For c <= 1/2 the geometric sum diverges and every reachable shard
 // falls back to the global weight 1.
-func (sx *ShardedIndex) pairWeights(su int) []float64 {
+func (sx *ShardedIndex) computePairWeights(su int) []float64 {
 	s := len(sx.parts)
 	dist := make([]int, s)
 	for i := range dist {
@@ -312,12 +264,17 @@ func (sx *ShardedIndex) Proximity(q, u int) (float64, error) {
 	if q < 0 || q >= sx.n || u < 0 || u >= sx.n {
 		return 0, fmt.Errorf("shard: node pair (%d,%d) outside [0,%d)", q, u, sx.n)
 	}
-	x, _ := sx.pushWeighted(map[int]float64{q: sx.c}, sx.pairWeights(sx.home[u]))
-	xs := x[sx.home[u]]
-	if xs == nil {
-		return 0, nil
+	st := sx.getPushState()
+	st.seed(q, sx.c)
+	st.run(sx.pairWeights(sx.home[u]))
+	p := 0.0
+	// Untouched state entries are zero by the pool invariant, so the
+	// single entry can be read directly once the shard has been solved.
+	if si := sx.home[u]; st.solved[si] {
+		p = st.x[si][sx.local[u]]
 	}
-	return xs[sx.local[u]], nil
+	sx.putPushState(st)
+	return p, nil
 }
 
 // ProximityVector computes the full proximity vector for q in original
@@ -326,15 +283,25 @@ func (sx *ShardedIndex) ProximityVector(q int) ([]float64, error) {
 	if q < 0 || q >= sx.n {
 		return nil, fmt.Errorf("shard: query node %d outside [0,%d)", q, sx.n)
 	}
-	x, _ := sx.push(map[int]float64{q: sx.c})
+	st := sx.getPushState()
+	st.seed(q, sx.c)
+	st.run(nil)
 	out := make([]float64, sx.n)
-	for si, xs := range x {
-		if xs == nil {
+	for si := range sx.parts {
+		if !st.solved[si] {
 			continue
 		}
-		for lv, v := range xs {
-			out[sx.parts[si].nodes[lv]] = v
+		nodes := sx.parts[si].nodes
+		if st.xdense[si] {
+			for lv, v := range st.x[si] {
+				out[nodes[lv]] = v
+			}
+		} else {
+			for _, lv := range st.xsup[si] {
+				out[nodes[lv]] = st.x[si][lv]
+			}
 		}
 	}
+	sx.putPushState(st)
 	return out, nil
 }

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kdash/internal/core"
@@ -119,6 +120,19 @@ type ShardedIndex struct {
 	// Same lazy-once lifecycle as revAdj.
 	inTOnce   sync.Once
 	inTargets [][]int
+
+	// pushPool recycles complete single-query push states (solution and
+	// residual vectors, touched-entry lists, per-shard sparse solvers)
+	// across queries; every request checks a private instance out, so the
+	// pool is the concurrent-safe source of per-query scratch and the
+	// steady-state query path allocates only its result set.
+	pushPool sync.Pool
+
+	// pairW memoizes the single-pair push's per-target-shard influence
+	// weights (pairWeights); each target's vector is computed once and
+	// immutable afterwards.
+	pairWOnce sync.Once
+	pairW     []atomic.Pointer[[]float64]
 }
 
 // cutTargets returns, per shard, the deduplicated local ids receiving

@@ -1,0 +1,205 @@
+package shard
+
+// Tests for the pooled single-query fast path: per-shard sparse solves
+// must be bit-identical to the dense reference across shard counts, the
+// pooled state must come back clean no matter what ran before, and the
+// steady-state query path must allocate only its result set.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/rwr"
+	"kdash/internal/topk"
+)
+
+// TestShardSparseSolveMatchesDense pins the single-lane sparse solver
+// bit-identical to core.Index.Solve on every shard of sharded indexes
+// across shard counts — including 1-shard (no ghost sink) and shards
+// with sinks — over restart-style and residual-style right-hand sides.
+func TestShardSparseSolveMatchesDense(t *testing.T) {
+	g := gen.PlantedPartition(240, 4, 0.2, 0.03, 3)
+	for _, shards := range []int{1, 3, 6} {
+		sx := buildSharded(t, g, shards, rwr.DefaultRestart)
+		rng := rand.New(rand.NewSource(int64(shards)))
+		for si, p := range sx.parts {
+			n := sx.partLen(si)
+			s := p.ix.NewSparseSolver()
+			for trial := 0; trial < 4; trial++ {
+				r := make([]float64, n)
+				if trial%2 == 0 {
+					r[rng.Intn(n)] = sx.c
+				} else {
+					for i := 0; i < 5; i++ {
+						r[rng.Intn(n)] += rng.Float64()
+					}
+				}
+				var idx []int
+				var val []float64
+				for i, v := range r {
+					if v != 0 {
+						idx = append(idx, i)
+						val = append(val, v)
+					}
+				}
+				got, sup, err := s.SolveSparse(idx, val)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := p.ix.Solve(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				onSup := make([]bool, n)
+				if sup == nil {
+					for i := range onSup {
+						onSup[i] = true
+					}
+				} else {
+					for _, i := range sup {
+						onSup[i] = true
+					}
+				}
+				for i := 0; i < n; i++ {
+					if onSup[i] {
+						if got[i] != want[i] {
+							t.Fatalf("shards=%d si=%d trial=%d row %d: sparse %v != dense %v", shards, si, trial, i, got[i], want[i])
+						}
+					} else if want[i] != 0 {
+						t.Fatalf("shards=%d si=%d trial=%d row %d outside support, dense %v", shards, si, trial, i, want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPooledStateReuseIsClean runs every query shape in interleaved
+// orders and asserts answers are bit-identical to a first pass: any
+// entry, mark or support list surviving a putPushState shows up as a
+// wrong answer here.
+func TestPooledStateReuseIsClean(t *testing.T) {
+	g := gen.PlantedPartition(200, 4, 0.2, 0.03, 11)
+	sx := buildSharded(t, g, 4, rwr.DefaultRestart)
+	const k = 8
+	first := make(map[int][]topk.Result)
+	for q := 0; q < 24; q++ {
+		rs, _, err := sx.TopK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[q] = rs
+	}
+	// Dirty the pooled state with the other query shapes, then re-ask in
+	// reverse order.
+	if _, err := sx.ProximityVector(13); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sx.Proximity(3, 190); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sx.TopKPersonalized(map[int]float64{1: 1, 150: 2}, k); err != nil {
+		t.Fatal(err)
+	}
+	for q := 23; q >= 0; q-- {
+		rs, _, err := sx.TopK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != len(first[q]) {
+			t.Fatalf("q=%d: %d results on reuse, %d first", q, len(rs), len(first[q]))
+		}
+		for i := range rs {
+			if rs[i] != first[q][i] {
+				t.Fatalf("q=%d rank %d: %+v on reuse, %+v first", q, i, rs[i], first[q][i])
+			}
+		}
+	}
+}
+
+// TestConcurrentQueriesArePoolSafe answers a fixed query set from many
+// goroutines and asserts bit-identical agreement with the sequential
+// answers — the pool must hand every request a private, clean state.
+// Run under -race this is the load-bearing check for the shared pool.
+func TestConcurrentQueriesArePoolSafe(t *testing.T) {
+	g := gen.PlantedPartition(180, 3, 0.2, 0.03, 9)
+	sx := buildSharded(t, g, 4, rwr.DefaultRestart)
+	const k = 6
+	want := make([][]topk.Result, 30)
+	for q := range want {
+		rs, _, err := sx.TopK(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = rs
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				q := (w*7 + rep) % len(want)
+				rs, _, err := sx.TopK(q, k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range rs {
+					if rs[i] != want[q][i] {
+						errs <- fmt.Errorf("q=%d rank %d: concurrent %+v != sequential %+v", q, i, rs[i], want[q][i])
+						return
+					}
+				}
+				if _, err := sx.Proximity(q, (q*13+5)%sx.N()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestTopKSteadyStateAllocs is the allocation regression for the pooled
+// single-query path: at steady state a TopK allocates its O(k) result
+// set (heap + results slice) and nothing sized by the graph.
+func TestTopKSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations; counts are asserted in the regular build")
+	}
+	g := gen.PlantedPartition(400, 4, 0.2, 0.02, 5)
+	sx := buildSharded(t, g, 4, rwr.DefaultRestart)
+	// Warm the pool and every lazily built structure (transposed factors,
+	// per-shard vectors, solver workspaces).
+	for q := 0; q < 8; q++ {
+		if _, _, err := sx.TopK(q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := 0
+	avg := testing.AllocsPerRun(300, func() {
+		if _, _, err := sx.TopK(q%sx.N(), 10); err != nil {
+			t.Fatal(err)
+		}
+		q++
+	})
+	// 3 allocations in the result path (heap struct, heap slice, sorted
+	// results); the slack absorbs a pool refill if GC strikes mid-run.
+	if avg > 8 {
+		t.Errorf("steady-state TopK allocates %.2f objects/query, want O(k) result set only (<= 8)", avg)
+	}
+}

@@ -1,0 +1,311 @@
+package shard
+
+// Pooled per-query push state. The single-query cross-shard push used to
+// allocate two O(n_shard) vectors per shard per query and wipe them
+// wholesale; pushState keeps every vector a query needs — accumulated
+// solution, residuals, their touched-entry lists, and one single-lane
+// sparse solver per shard — alive across queries in a sync.Pool on the
+// ShardedIndex. Queries check a private instance out (concurrent-safe:
+// the pool hands each request its own state), run, and return it after
+// spot-cleaning exactly the entries they touched, so the steady-state
+// query path allocates only its O(k) result set.
+
+import (
+	"fmt"
+	"sort"
+
+	"kdash/internal/core"
+	"kdash/internal/topk"
+)
+
+// pushState is the complete state of one single-query push. The
+// invariant between queries: every vector is all-zero, every support
+// list empty, every flag false — maintained by release() spot-cleaning
+// the touched entries, never by full-vector zeroing.
+type pushState struct {
+	sx *ShardedIndex
+
+	// Accumulated solution per shard over owned nodes (no ghost sink row;
+	// sink mass is absorbed, never ranked). x[si] is allocated the first
+	// time this instance solves shard si and reused afterwards.
+	x      [][]float64
+	xmark  [][]bool
+	xsup   [][]int // touched solution entries (local ids), per shard
+	xdense []bool  // a dense-fallback solve wrote the whole shard this query
+
+	// Residual right-hand sides per shard over partLen rows.
+	res     [][]float64
+	rmark   [][]bool
+	rsup    [][]int // touched residual entries (local ids), per shard
+	resMass []float64
+
+	solved  []bool // shard solved at least once this query
+	solvers []*core.SparseSolver
+
+	// Sorted sparse right-hand side scratch for the per-shard solves.
+	rhsIdx []int
+	rhsVal []float64
+
+	initial float64 // total seeded mass this query
+}
+
+func newPushState(sx *ShardedIndex) *pushState {
+	s := len(sx.parts)
+	return &pushState{
+		sx:      sx,
+		x:       make([][]float64, s),
+		xmark:   make([][]bool, s),
+		xsup:    make([][]int, s),
+		xdense:  make([]bool, s),
+		res:     make([][]float64, s),
+		rmark:   make([][]bool, s),
+		rsup:    make([][]int, s),
+		resMass: make([]float64, s),
+		solved:  make([]bool, s),
+		solvers: make([]*core.SparseSolver, s),
+	}
+}
+
+// getPushState checks clean per-query push state out of the pool.
+func (sx *ShardedIndex) getPushState() *pushState {
+	if st, ok := sx.pushPool.Get().(*pushState); ok {
+		return st
+	}
+	return newPushState(sx)
+}
+
+// putPushState restores the all-zero invariant and returns the state to
+// the pool. The state's vectors and supports must not be read afterwards.
+func (sx *ShardedIndex) putPushState(st *pushState) {
+	st.release()
+	sx.pushPool.Put(st)
+}
+
+// seed adds restart mass m (already scaled by c) at global node g.
+func (st *pushState) seed(g int, m float64) {
+	st.addRes(st.sx.home[g], st.sx.local[g], m)
+	st.initial += m
+}
+
+// addRes adds residual mass at (shard si, local row lv), recording the
+// touch so consumption and cleanup iterate only written entries.
+func (st *pushState) addRes(si, lv int, m float64) {
+	if st.res[si] == nil {
+		n := st.sx.partLen(si)
+		st.res[si] = make([]float64, n)
+		st.rmark[si] = make([]bool, n)
+	}
+	if !st.rmark[si][lv] {
+		st.rmark[si][lv] = true
+		st.rsup[si] = append(st.rsup[si], lv)
+	}
+	st.res[si][lv] += m
+	st.resMass[si] += m
+}
+
+// run drives the push to convergence (see pushWeighted for the weighting
+// contract) and reports the query's work. Per iteration the shard with
+// the most pending (weighted) mass is solved through its pooled
+// single-lane sparse solver, and only the solve's returned support is
+// accumulated and scattered.
+func (st *pushState) run(w []float64) QueryStats {
+	var qs QueryStats
+	sx := st.sx
+	s := len(sx.parts)
+	tol := sx.qtol * st.initial
+
+	total, weighted := st.initial, st.initial
+	for {
+		// The totals are re-summed rather than maintained incrementally:
+		// the per-shard masses are exact (assigned, not drifted), and a
+		// drifted running total can float just above tolerance forever.
+		best, bestMass := -1, 0.0
+		total, weighted = 0, 0
+		for si := 0; si < s; si++ {
+			total += st.resMass[si]
+			m := st.resMass[si]
+			if w != nil {
+				m *= w[si]
+			}
+			weighted += m
+			if m > bestMass {
+				best, bestMass = si, m
+			}
+		}
+		if weighted <= tol || best < 0 || qs.Solves >= maxSolves {
+			break
+		}
+		st.solveShard(best, &qs)
+	}
+	qs.ResidualMass = total
+	qs.Converged = weighted <= tol
+	for si := 0; si < s; si++ {
+		if st.resMass[si] > 0 && !st.solved[si] {
+			qs.ShardsPruned++
+		}
+	}
+	return qs
+}
+
+// solveShard consumes shard best's residual through the shard's sparse
+// solver, accumulates the solution and scatters solved mass across the
+// cut edges — all proportional to the solve's actual support.
+func (st *pushState) solveShard(best int, qs *QueryStats) {
+	sx := st.sx
+	p := sx.parts[best]
+
+	// Gather the residual into an ascending sparse right-hand side — the
+	// accumulation order the dense reference solve uses — consuming it in
+	// the same pass (the solve absorbs the mass).
+	sup := st.rsup[best]
+	sort.Ints(sup)
+	idx, val := st.rhsIdx[:0], st.rhsVal[:0]
+	rb, rm := st.res[best], st.rmark[best]
+	for _, lv := range sup {
+		if v := rb[lv]; v != 0 {
+			idx = append(idx, lv)
+			val = append(val, v)
+		}
+		rb[lv] = 0
+		rm[lv] = false
+	}
+	st.rhsIdx, st.rhsVal = idx, val
+	st.rsup[best] = sup[:0]
+	st.resMass[best] = 0
+
+	solver := st.solvers[best]
+	if solver == nil {
+		solver = p.ix.NewSparseSolver()
+		st.solvers[best] = solver
+	}
+	y, ysup, err := solver.SolveSparse(idx, val)
+	if err != nil {
+		panic(fmt.Sprintf("shard: internal solve shape mismatch: %v", err)) // rhs gathered from partLen-sized vectors; unreachable
+	}
+	qs.Solves++
+	if !st.solved[best] {
+		st.solved[best] = true
+		qs.ShardsSolved++
+	}
+	if st.x[best] == nil {
+		st.x[best] = make([]float64, len(p.nodes))
+		st.xmark[best] = make([]bool, len(p.nodes))
+	}
+	xb, xm := st.x[best], st.xmark[best]
+	consume := func(lv int) {
+		yv := y[lv]
+		if yv == 0 {
+			return
+		}
+		xb[lv] += yv
+		if !st.xdense[best] && !xm[lv] {
+			xm[lv] = true
+			st.xsup[best] = append(st.xsup[best], lv)
+		}
+		for ci := p.cutPtr[lv]; ci < p.cutPtr[lv+1]; ci++ {
+			e := p.cuts[ci]
+			st.addRes(e.dstShard, e.dst, e.w*yv)
+		}
+	}
+	if ysup != nil {
+		// Rows outside the support are stale in y (SolveSparse contract),
+		// so only the support is read; the ghost sink's absorbed mass
+		// propagates nowhere and is skipped.
+		for _, lv := range ysup {
+			if lv < len(p.nodes) {
+				qs.NodesEvaluated++
+				consume(lv)
+			}
+		}
+	} else {
+		qs.NodesEvaluated += len(p.nodes)
+		st.xdense[best] = true
+		for lv := range p.nodes {
+			consume(lv)
+		}
+	}
+}
+
+// rank merges the state's accumulated solution into one exact top-k
+// answer, iterating only the entries the push wrote.
+func (st *pushState) rank(k int, exclude map[int]bool) []topk.Result {
+	heap := topk.New(k)
+	for si := range st.sx.parts {
+		if !st.solved[si] {
+			continue
+		}
+		nodes := st.sx.parts[si].nodes
+		xb := st.x[si]
+		push := func(lv int) {
+			if v := xb[lv]; v > 0 {
+				g := nodes[lv]
+				if len(exclude) == 0 || !exclude[g] {
+					heap.Push(g, v)
+				}
+			}
+		}
+		if st.xdense[si] {
+			for lv := range nodes {
+				push(lv)
+			}
+		} else {
+			for _, lv := range st.xsup[si] {
+				push(lv)
+			}
+		}
+	}
+	return heap.Results()
+}
+
+// materialize copies the touched solution out of the pooled state into
+// caller-owned per-shard vectors (nil for unsolved shards) — the
+// contract push/pushWeighted keep for callers that want raw vectors.
+func (st *pushState) materialize() [][]float64 {
+	out := make([][]float64, len(st.sx.parts))
+	for si := range st.sx.parts {
+		if !st.solved[si] {
+			continue
+		}
+		v := make([]float64, len(st.sx.parts[si].nodes))
+		if st.xdense[si] {
+			copy(v, st.x[si])
+		} else {
+			for _, lv := range st.xsup[si] {
+				v[lv] = st.x[si][lv]
+			}
+		}
+		out[si] = v
+	}
+	return out
+}
+
+// release restores the all-zero invariant by spot-cleaning exactly the
+// entries this query touched (one bulk clear for shards a dense solve
+// wrote wholesale) and resets the per-query bookkeeping.
+func (st *pushState) release() {
+	for si := range st.sx.parts {
+		if st.xdense[si] {
+			clear(st.x[si])
+			clear(st.xmark[si])
+			st.xdense[si] = false
+		} else if len(st.xsup[si]) > 0 {
+			xb, xm := st.x[si], st.xmark[si]
+			for _, lv := range st.xsup[si] {
+				xb[lv] = 0
+				xm[lv] = false
+			}
+		}
+		st.xsup[si] = st.xsup[si][:0]
+		if len(st.rsup[si]) > 0 {
+			rb, rm := st.res[si], st.rmark[si]
+			for _, lv := range st.rsup[si] {
+				rb[lv] = 0
+				rm[lv] = false
+			}
+		}
+		st.rsup[si] = st.rsup[si][:0]
+		st.resMass[si] = 0
+		st.solved[si] = false
+	}
+	st.initial = 0
+}

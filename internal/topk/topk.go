@@ -3,8 +3,8 @@
 package topk
 
 import (
-	"container/heap"
-	"sort"
+	"cmp"
+	"slices"
 )
 
 // Result is one ranked answer.
@@ -20,12 +20,21 @@ type Heap struct {
 	items minHeap
 }
 
+// newCap bounds the eager backing-store allocation. Any sane answer set
+// fits; a hostile request-supplied k (validated only for positivity by
+// the HTTP layer) must not translate into an O(k) allocation, so larger
+// heaps grow with the results actually pushed instead.
+const newCap = 1024
+
 // New returns a top-k accumulator for k results. k must be positive.
+// The backing store is sized up front for every sane k, so an
+// accumulator performs no further allocation however many results are
+// offered.
 func New(k int) *Heap {
 	if k <= 0 {
 		panic("topk: k must be positive")
 	}
-	return &Heap{k: k}
+	return &Heap{k: k, items: make(minHeap, 0, min(k, newCap))}
 }
 
 // K reports the configured capacity.
@@ -46,14 +55,17 @@ func (h *Heap) Threshold() float64 {
 
 // Push offers a result; it is kept only if it beats the current threshold
 // or the heap is not full. Returns true if the set of kept results changed.
+// The sift is hand-rolled rather than container/heap so no Result is ever
+// boxed through an interface — Push is allocation-free.
 func (h *Heap) Push(node int, score float64) bool {
 	if len(h.items) < h.k {
-		heap.Push(&h.items, Result{node, score})
+		h.items = append(h.items, Result{node, score})
+		h.items.siftUp(len(h.items) - 1)
 		return true
 	}
 	if score > h.items[0].Score || (score == h.items[0].Score && node < h.items[0].Node) {
 		h.items[0] = Result{node, score}
-		heap.Fix(&h.items, 0)
+		h.items.siftDown(0)
 		return true
 	}
 	return false
@@ -69,12 +81,18 @@ func (h *Heap) Results() []Result {
 }
 
 // SortResults orders results by descending score, then ascending node id.
+// slices.SortFunc rather than sort.Slice keeps it allocation-free (no
+// interface boxing of the comparator); the (score, node) key is unique,
+// so the order is total and sort stability is irrelevant.
 func SortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Score != rs[j].Score {
-			return rs[i].Score > rs[j].Score
+	slices.SortFunc(rs, func(a, b Result) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
 		}
-		return rs[i].Node < rs[j].Node
+		return cmp.Compare(a.Node, b.Node)
 	})
 }
 
@@ -97,12 +115,34 @@ func (m minHeap) Less(i, j int) bool {
 	// Higher node id is "worse" on ties so eviction is deterministic.
 	return m[i].Node > m[j].Node
 }
-func (m minHeap) Swap(i, j int)       { m[i], m[j] = m[j], m[i] }
-func (m *minHeap) Push(x interface{}) { *m = append(*m, x.(Result)) }
-func (m *minHeap) Pop() interface{} {
-	old := *m
-	n := len(old)
-	x := old[n-1]
-	*m = old[:n-1]
-	return x
+func (m minHeap) Swap(i, j int) { m[i], m[j] = m[j], m[i] }
+
+func (m minHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.Less(i, parent) {
+			break
+		}
+		m.Swap(i, parent)
+		i = parent
+	}
+}
+
+func (m minHeap) siftDown(i int) {
+	n := len(m)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		small := l
+		if r := l + 1; r < n && m.Less(r, l) {
+			small = r
+		}
+		if !m.Less(small, i) {
+			break
+		}
+		m.Swap(i, small)
+		i = small
+	}
 }
