@@ -9,6 +9,7 @@
 //	kdash-bench -exp fig5 -queries 5
 //	kdash-bench -exp shards -shards 1,4,8 -shard-nodes 50000
 //	kdash-bench -exp batch -batches 1,8,64 -shard-nodes 50000
+//	kdash-bench -exp updates -shard-nodes 50000   # update latency vs rebuild
 //	kdash-bench -exp shards -json                 # also write BENCH_shards.json
 //	kdash-bench -exp fig2 -cpuprofile cpu.out     # pprof the run
 //
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|batch|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|batch|updates|all")
 		queries    = flag.Int("queries", 10, "query nodes averaged per measurement")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		shards     = flag.String("shards", "1,2,4,8", "shard counts for -exp shards")
@@ -180,6 +181,14 @@ func main() {
 		check(err)
 		experiments.WriteBatchRows(os.Stdout, rows)
 		emit("batch", rows)
+	}
+	if run("updates") {
+		any = true
+		section("Extension — dynamic updates: incremental shard refactorization vs full rebuild")
+		rows, err := experiments.UpdateScale(cfg)
+		check(err)
+		experiments.WriteUpdateRows(os.Stdout, rows)
+		emit("updates", rows)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kdash-bench: unknown experiment %q\n", *exp)

@@ -188,20 +188,7 @@ func main() {
 }
 
 func parseMethod(s string) (kdash.ReorderMethod, error) {
-	switch s {
-	case "degree":
-		return reorder.Degree, nil
-	case "cluster":
-		return reorder.Cluster, nil
-	case "hybrid":
-		return reorder.Hybrid, nil
-	case "random":
-		return reorder.Random, nil
-	case "natural":
-		return reorder.Natural, nil
-	default:
-		return 0, fmt.Errorf("kdash: unknown reorder method %q", s)
-	}
+	return reorder.Parse(s)
 }
 
 func fatal(err error) {

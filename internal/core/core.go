@@ -87,6 +87,14 @@ type Index struct {
 	sparsePool sync.Pool
 
 	stats BuildStats
+
+	// srcGraph and opts are retained so the index can rebuild itself from
+	// a graph delta (Rebuild); epoch counts rebuilds along the chain.
+	// LoadIndex leaves srcGraph nil — the serialised form carries only the
+	// query structures — which marks the index as non-updatable.
+	srcGraph *graph.Graph
+	opts     BuildOptions
+	epoch    int
 }
 
 // inverseFactors returns the index's factors as an lu.Inverse, built once.
@@ -129,18 +137,21 @@ func BuildIndex(g *graph.Graph, opt BuildOptions) (*Index, error) {
 	inverse := fac.Invert(lu.Options{DropTol: opt.DropTol, Workers: opt.Workers})
 	invTime := time.Since(tInv)
 
+	opt.Restart = c // retain the resolved value so Rebuild chains identically
 	n := g.N()
 	ix := &Index{
-		n:       n,
-		c:       c,
-		perm:    perm,
-		inv:     reorder.Invert(perm),
-		a:       a,
-		linv:    inverse.Linv,
-		uinv:    inverse.Uinv,
-		amax:    a.Max(),
-		amaxCol: a.ColMax(),
-		selfA:   make([]float64, n),
+		n:        n,
+		c:        c,
+		srcGraph: g,
+		opts:     opt,
+		perm:     perm,
+		inv:      reorder.Invert(perm),
+		a:        a,
+		linv:     inverse.Linv,
+		uinv:     inverse.Uinv,
+		amax:     a.Max(),
+		amaxCol:  a.ColMax(),
+		selfA:    make([]float64, n),
 	}
 	for u := 0; u < n; u++ {
 		ix.selfA[u] = a.At(u, u)

@@ -10,6 +10,7 @@ import (
 	"kdash/internal/graph"
 	"kdash/internal/reorder"
 	"kdash/internal/rwr"
+	"kdash/internal/testutil"
 	"kdash/internal/topk"
 )
 
@@ -59,7 +60,12 @@ func sameAnswerSet(a, b []topk.Result, tol float64) bool {
 		}
 	}
 	// Node sets must agree up to tie-swaps: compare as multisets keyed by
-	// whether each node of a appears in b with a matching score.
+	// whether each node of a appears in b with a matching score. A node
+	// missing from b entirely is still a valid answer when its score ties
+	// the k-th place within tol — either of the tied nodes may be cut at
+	// the boundary (the symmetric shapes in the shared testutil suite,
+	// grids and disconnected components, make exact boundary ties
+	// common). Same rule as the shard suite and experiments.Precision.
 	used := make([]bool, len(b))
 	for i := range a {
 		found := false
@@ -70,7 +76,7 @@ func sameAnswerSet(a, b []topk.Result, tol float64) bool {
 				break
 			}
 		}
-		if !found {
+		if !found && math.Abs(a[i].Score-b[len(b)-1].Score) > tol {
 			return false
 		}
 	}
@@ -99,8 +105,11 @@ func TestExactnessAllReorderings(t *testing.T) {
 func TestExactnessPropertyRandomGraphs(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		n := 20 + rng.Intn(80)
-		g := gen.ErdosRenyi(n, 5*n, seed)
+		// The shared generator sweeps shapes, not just ER: grids,
+		// disconnected components and self-loop-heavy graphs all hit
+		// estimation corners the uniform generator never reaches.
+		g := testutil.Random(rng)
+		n := g.N()
 		ix, err := BuildIndex(g, BuildOptions{Reorder: reorder.Hybrid, Seed: seed})
 		if err != nil {
 			return false

@@ -1,0 +1,59 @@
+package core
+
+// Native fuzz target for the binary index loader: whatever bytes come
+// in — truncations of a valid index, bit flips, garbage — LoadIndex
+// must return an error, never panic and never commit unbounded memory.
+// Run with `go test -fuzz=FuzzLoadIndex ./internal/core`.
+
+import (
+	"bytes"
+	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/reorder"
+)
+
+// fuzzIndexBytes is a small valid serialised index, built once: the
+// seeds the mutator starts from are the valid stream plus truncations
+// and targeted corruptions of it.
+func fuzzIndexBytes(f *testing.F) []byte {
+	f.Helper()
+	g := gen.ErdosRenyi(24, 90, 7)
+	ix, err := BuildIndex(g, BuildOptions{Reorder: reorder.Hybrid, Seed: 7})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func FuzzLoadIndex(f *testing.F) {
+	valid := fuzzIndexBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])  // truncated mid-array
+	f.Add(valid[:9])             // magic + version only
+	f.Add([]byte("KDASHIX\x01")) // header, nothing else
+	f.Add([]byte("not an index"))
+	f.Add([]byte{})
+	// A length-prefix bomb: valid header, then a huge array length.
+	bomb := append([]byte{}, valid[:16]...)
+	bomb = append(bomb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	f.Add(bomb)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := LoadIndex(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is the expected outcome for corrupt input
+		}
+		// The rare accepted input must yield a queryable index.
+		if ix.N() <= 0 {
+			t.Fatalf("accepted index with n=%d", ix.N())
+		}
+		if _, _, qerr := ix.TopK(0, 3); qerr != nil {
+			t.Fatalf("accepted index cannot answer: %v", qerr)
+		}
+	})
+}

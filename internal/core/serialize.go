@@ -104,6 +104,17 @@ func (ix *Index) Save(w io.Writer) error {
 	return nil
 }
 
+// clipSlice copies a slice down to its length when append growth left
+// meaningful slack — the factor arrays live for the index's lifetime,
+// so the ~25% over-allocation large appends carry is worth one copy at
+// load time.
+func clipSlice[T any](s []T) []T {
+	if cap(s)-len(s) <= len(s)/16 {
+		return s
+	}
+	return append(make([]T, 0, len(s)), s...)
+}
+
 // LoadIndex reads an index previously written by Save.
 func LoadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
@@ -125,8 +136,13 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		}
 		return le.Uint64(buf[:]), nil
 	}
-	// maxLen guards against running away on corrupted length prefixes.
+	// maxLen guards against running away on corrupted length prefixes;
+	// the arrays additionally grow by append rather than being sized up
+	// front, so a corrupt length never allocates more than the stream
+	// actually carries (a truncated stream fails at its first missing
+	// byte with a few KiB committed, not a terabyte).
 	const maxLen = 1 << 40
+	const preAlloc = 1 << 16
 	readInts := func() ([]int, error) {
 		n, err := readU64()
 		if err != nil {
@@ -135,15 +151,15 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		if n > maxLen {
 			return nil, fmt.Errorf("core: corrupt index (array length %d)", n)
 		}
-		out := make([]int, n)
-		for i := range out {
+		out := make([]int, 0, min(n, preAlloc))
+		for i := uint64(0); i < n; i++ {
 			v, err := readU64()
 			if err != nil {
 				return nil, err
 			}
-			out[i] = int(v)
+			out = append(out, int(v))
 		}
-		return out, nil
+		return clipSlice(out), nil
 	}
 	readFloats := func() ([]float64, error) {
 		n, err := readU64()
@@ -153,15 +169,15 @@ func LoadIndex(r io.Reader) (*Index, error) {
 		if n > maxLen {
 			return nil, fmt.Errorf("core: corrupt index (array length %d)", n)
 		}
-		out := make([]float64, n)
-		for i := range out {
+		out := make([]float64, 0, min(n, preAlloc))
+		for i := uint64(0); i < n; i++ {
 			v, err := readU64()
 			if err != nil {
 				return nil, err
 			}
-			out[i] = math.Float64frombits(v)
+			out = append(out, math.Float64frombits(v))
 		}
-		return out, nil
+		return clipSlice(out), nil
 	}
 	nU, err := readU64()
 	if err != nil {

@@ -235,3 +235,37 @@ func TestFormatters(t *testing.T) {
 		t.Error("formatters produced no output")
 	}
 }
+
+func TestUpdateScaleShape(t *testing.T) {
+	cfg := smallConfig()
+	cfg.ShardGraphN = 1500
+	cfg.ShardCounts = []int{1, 4}
+	rows, err := UpdateScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 update kinds + 2 baselines.
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	kinds := map[string]UpdateRow{}
+	for _, r := range rows {
+		kinds[r.Kind] = r
+		if !r.Exact {
+			t.Errorf("%s: post-update answers not bit-identical to the pinned rebuild", r.Kind)
+		}
+	}
+	intra, ok := kinds["intra-edge"]
+	if !ok || intra.ShardsRebuilt != 1 {
+		t.Fatalf("intra-edge row = %+v", intra)
+	}
+	full := kinds["full-rebuild"]
+	if full.Mean <= intra.Mean {
+		t.Errorf("full rebuild (%v) not slower than incremental update (%v)", full.Mean, intra.Mean)
+	}
+	var buf bytes.Buffer
+	WriteUpdateRows(&buf, rows)
+	if !strings.Contains(buf.String(), "intra-edge") || !strings.Contains(buf.String(), "full-rebuild") {
+		t.Errorf("table missing rows:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,220 @@
+package experiments
+
+// UpdateScale is the dynamic-update extension experiment: on the same
+// community-structured benchmark graph the shard experiment uses, it
+// measures the latency of incremental ShardedIndex.Apply per update
+// kind — intra-shard edge, cut-crossing edge, node insertion — against
+// the two baselines that bracket it: one shard's build time (the floor
+// an update that refactorizes one block can hit) and the full rebuild
+// (what the update replaces). It also verifies the chain's exactness:
+// after all measured updates, the updated index must answer TopK
+// bit-identically to a from-scratch build on the final graph with the
+// final assignment pinned.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"kdash/internal/gen"
+	"kdash/internal/graph"
+	"kdash/internal/reorder"
+	"kdash/internal/shard"
+)
+
+// UpdateRow is one measurement of the update experiment.
+type UpdateRow struct {
+	Kind          string        // update kind or baseline name
+	Updates       int           // measured updates averaged (1 for baselines)
+	Mean          time.Duration // mean wall clock per update
+	ShardsRebuilt float64       // mean LU blocks refactorized per update
+	VsShardBuild  float64       // Mean / (one shard's build time); acceptance: <= 2 for intra-shard
+	VsFullRebuild float64       // Mean / full-rebuild wall clock
+	Exact         bool          // post-chain answers bit-identical to a pinned from-scratch build
+}
+
+// defaultUpdateShards is the shard count the acceptance criterion is
+// stated against.
+const defaultUpdateShards = 8
+
+// UpdateScale builds the benchmark graph at cfg.ShardGraphN nodes and
+// defaultUpdateShards shards (the last entry of cfg.ShardCounts
+// overrides the shard count when larger than 1) and measures update
+// latency per kind.
+func UpdateScale(cfg Config) ([]UpdateRow, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.ShardGraphN
+	if n == 0 {
+		n = defaultShardGraphN
+	}
+	shards := defaultUpdateShards
+	if len(cfg.ShardCounts) > 0 {
+		if last := cfg.ShardCounts[len(cfg.ShardCounts)-1]; last > 1 {
+			shards = last
+		}
+	}
+	communities := n / 100
+	if communities < 4 {
+		communities = 4
+	}
+	g := gen.CommunityOverlay(n, 3, communities, 0.995, cfg.Seed)
+
+	opts := shard.Options{Shards: shards, Reorder: reorder.Hybrid, Seed: cfg.Seed}
+	tFull := time.Now()
+	sx, err := shard.Build(g, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: update baseline build: %w", err)
+	}
+	fullBuild := time.Since(tFull)
+	oneShard := sx.Stats().ShardCPUTime / time.Duration(sx.Shards())
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	updates := cfg.Queries
+	if updates < 3 {
+		updates = 3
+	}
+
+	// Pre-draw the update sequences so drawing cost is outside timings.
+	intra, cut := edgePairs(sx, rng, updates)
+
+	rows := make([]UpdateRow, 0, 5)
+	measure := func(kind string, mk func(i int, cur *shard.ShardedIndex) (*graph.Delta, error)) error {
+		var total time.Duration
+		var rebuilt int
+		for i := 0; i < updates; i++ {
+			d, err := mk(i, sx)
+			if err != nil {
+				return err
+			}
+			t0 := time.Now()
+			next, us, err := sx.Apply(d)
+			if err != nil {
+				return fmt.Errorf("experiments: %s update %d: %w", kind, i, err)
+			}
+			total += time.Since(t0)
+			rebuilt += us.ShardsRebuilt
+			sx = next
+		}
+		mean := total / time.Duration(updates)
+		rows = append(rows, UpdateRow{
+			Kind:          kind,
+			Updates:       updates,
+			Mean:          mean,
+			ShardsRebuilt: float64(rebuilt) / float64(updates),
+			VsShardBuild:  ratio(mean, oneShard),
+			VsFullRebuild: ratio(mean, fullBuild),
+			Exact:         true, // validated once after the chain, below
+		})
+		return nil
+	}
+
+	if err := measure("intra-edge", func(i int, cur *shard.ShardedIndex) (*graph.Delta, error) {
+		d := cur.Graph().NewDelta()
+		e := intra[i%len(intra)]
+		return d, d.AddEdge(e[0], e[1], 0.5+rng.Float64())
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure("cut-edge", func(i int, cur *shard.ShardedIndex) (*graph.Delta, error) {
+		d := cur.Graph().NewDelta()
+		e := cut[i%len(cut)]
+		return d, d.AddEdge(e[0], e[1], 0.5+rng.Float64())
+	}); err != nil {
+		return nil, err
+	}
+	if err := measure("add-node", func(i int, cur *shard.ShardedIndex) (*graph.Delta, error) {
+		d := cur.Graph().NewDelta()
+		id := d.AddNode()
+		anchor := rng.Intn(cur.N())
+		if err := d.AddEdge(id, anchor, 1); err != nil {
+			return nil, err
+		}
+		return d, d.AddEdge(anchor, id, 1)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Exactness: the whole measured chain vs a pinned from-scratch build.
+	exact, err := updateChainExact(sx, opts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].Exact = exact
+	}
+
+	// Baselines for scale: one shard's build (CPU) and the full rebuild.
+	rows = append(rows,
+		UpdateRow{Kind: "one-shard-build", Updates: 1, Mean: oneShard, VsShardBuild: 1, VsFullRebuild: ratio(oneShard, fullBuild), Exact: exact},
+		UpdateRow{Kind: "full-rebuild", Updates: 1, Mean: fullBuild, ShardsRebuilt: float64(sx.Shards()), VsShardBuild: ratio(fullBuild, oneShard), VsFullRebuild: 1, Exact: exact},
+	)
+	return rows, nil
+}
+
+// edgePairs draws intra-shard and cut-crossing node pairs.
+func edgePairs(sx *shard.ShardedIndex, rng *rand.Rand, want int) (intra, cut [][2]int) {
+	n := sx.N()
+	for len(intra) < want || len(cut) < want {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if sx.HomeShard(u) == sx.HomeShard(v) {
+			if len(intra) < want {
+				intra = append(intra, [2]int{u, v})
+			}
+		} else if len(cut) < want {
+			cut = append(cut, [2]int{u, v})
+		}
+	}
+	return intra, cut
+}
+
+// updateChainExact compares the updated index against a from-scratch
+// build with the final assignment pinned: answers must be bit-identical
+// (same nodes, same order, same float bits).
+func updateChainExact(sx *shard.ShardedIndex, opts shard.Options, cfg Config) (bool, error) {
+	opts.Shards = 0
+	opts.Assignment = sx.Assignment()
+	scratch, err := shard.Build(sx.Graph(), opts)
+	if err != nil {
+		return false, fmt.Errorf("experiments: pinned rebuild: %w", err)
+	}
+	for _, q := range cfg.queryNodes(sx.N()) {
+		got, _, err := sx.TopK(q, cfg.K)
+		if err != nil {
+			return false, err
+		}
+		want, _, err := scratch.TopK(q, cfg.K)
+		if err != nil {
+			return false, err
+		}
+		if len(got) != len(want) {
+			return false, nil
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func ratio(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// WriteUpdateRows prints the update-latency table.
+func WriteUpdateRows(w io.Writer, rows []UpdateRow) {
+	fmt.Fprintf(w, "%-16s %8s %14s %14s %14s %14s %7s\n",
+		"update", "updates", "mean", "shards-rebuilt", "vs-shard-build", "vs-full-build", "exact")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %8d %14v %14.1f %13.2fx %13.3fx %7t\n",
+			r.Kind, r.Updates, r.Mean.Round(time.Microsecond), r.ShardsRebuilt, r.VsShardBuild, r.VsFullRebuild, r.Exact)
+	}
+}

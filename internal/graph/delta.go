@@ -1,0 +1,201 @@
+package graph
+
+// Graph mutation. A Graph stays immutable; changes are described by a
+// Delta — an ordered batch of edge additions, edge removals and node
+// insertions relative to a base graph — and applied functionally:
+// Apply returns a *new* Graph, leaving the base untouched. This is the
+// contract the index update path is built on (core.Index.Rebuild,
+// shard.ShardedIndex.Apply): in-flight readers keep the old snapshot,
+// writers publish the new one, and nobody ever observes a half-applied
+// batch.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrEdgeNotFound reports a RemoveEdge op whose edge does not exist at
+// the point of the batch it executes in. Callers translating Apply
+// failures into API responses can errors.Is against it to distinguish a
+// client mistake from an internal failure.
+var ErrEdgeNotFound = errors.New("edge not found")
+
+type deltaOpKind uint8
+
+const (
+	opAddEdge deltaOpKind = iota
+	opRemoveEdge
+)
+
+type deltaOp struct {
+	kind     deltaOpKind
+	from, to int
+	w        float64
+}
+
+// Delta is an ordered batch of mutations against a base graph with a
+// known node count. Ops are validated as they are recorded (ranges,
+// positive weights) and again structurally at Apply time; a Delta built
+// for one graph cannot be applied to a graph of a different size.
+//
+// Semantics are sequential: AddEdge adds weight to the (merged) edge,
+// creating it if absent — the same summing rule Builder uses — and
+// RemoveEdge deletes the merged edge entirely, whatever its
+// accumulated weight. "RemoveEdge; AddEdge" is therefore a weight
+// replacement, while "AddEdge; RemoveEdge" deletes the edge outright
+// (including any weight it had before the batch).
+type Delta struct {
+	baseN    int
+	addNodes int
+	ops      []deltaOp
+}
+
+// NewDelta starts an empty batch against a graph with baseN nodes.
+func NewDelta(baseN int) *Delta {
+	if baseN < 0 {
+		panic("graph: negative node count")
+	}
+	return &Delta{baseN: baseN}
+}
+
+// NewDelta starts an empty batch against this graph.
+func (g *Graph) NewDelta() *Delta { return NewDelta(g.n) }
+
+// BaseN reports the node count the batch was built against.
+func (d *Delta) BaseN() int { return d.baseN }
+
+// AddedNodes reports how many nodes the batch inserts.
+func (d *Delta) AddedNodes() int { return d.addNodes }
+
+// Len reports the number of edge ops recorded.
+func (d *Delta) Len() int { return len(d.ops) }
+
+// Empty reports whether the batch changes nothing.
+func (d *Delta) Empty() bool { return d.addNodes == 0 && len(d.ops) == 0 }
+
+// AddNode inserts a new node and returns its id: the first inserted
+// node is baseN, the next baseN+1, and so on. Subsequent edge ops may
+// reference inserted ids.
+func (d *Delta) AddNode() int {
+	d.addNodes++
+	return d.baseN + d.addNodes - 1
+}
+
+// n reports the node count after the batch's insertions so far.
+func (d *Delta) n() int { return d.baseN + d.addNodes }
+
+// AddEdge records adding weight to the directed edge from -> to
+// (creating it if absent). Both endpoints may be inserted nodes.
+func (d *Delta) AddEdge(from, to int, weight float64) error {
+	if from < 0 || from >= d.n() || to < 0 || to >= d.n() {
+		return fmt.Errorf("graph: delta edge (%d,%d) outside node range [0,%d)", from, to, d.n())
+	}
+	if weight <= 0 {
+		return fmt.Errorf("graph: delta edge (%d,%d) has non-positive weight %v", from, to, weight)
+	}
+	d.ops = append(d.ops, deltaOp{kind: opAddEdge, from: from, to: to, w: weight})
+	return nil
+}
+
+// RemoveEdge records removing the (merged) directed edge from -> to.
+// Whether the edge exists is only known at Apply time, where a missing
+// edge fails the whole batch with ErrEdgeNotFound.
+func (d *Delta) RemoveEdge(from, to int) error {
+	if from < 0 || from >= d.n() || to < 0 || to >= d.n() {
+		return fmt.Errorf("graph: delta edge (%d,%d) outside node range [0,%d)", from, to, d.n())
+	}
+	d.ops = append(d.ops, deltaOp{kind: opRemoveEdge, from: from, to: to})
+	return nil
+}
+
+// Counts reports the batch's op totals: edge additions, edge removals
+// and node insertions.
+func (d *Delta) Counts() (added, removed, nodes int) {
+	for _, op := range d.ops {
+		if op.kind == opAddEdge {
+			added++
+		} else {
+			removed++
+		}
+	}
+	return added, removed, d.addNodes
+}
+
+// Edges returns the batch's edge ops as (from, to, weight) triples with
+// weight 0 marking a removal, in recorded order. The slice is a copy.
+func (d *Delta) Edges() []Edge {
+	out := make([]Edge, len(d.ops))
+	for i, op := range d.ops {
+		out[i] = Edge{From: op.from, To: op.to, Weight: op.w}
+	}
+	return out
+}
+
+// Apply produces the graph with the batch applied, leaving g untouched.
+// The result is exactly the graph a Builder fed the updated edge set
+// would produce, so downstream consumers (normalisation, BFS, indexes)
+// see no difference between an updated graph and a freshly built one.
+func (g *Graph) Apply(d *Delta) (*Graph, error) {
+	if d.baseN != g.n {
+		return nil, fmt.Errorf("graph: delta built against %d nodes, graph has %d", d.baseN, g.n)
+	}
+	type key struct{ from, to int }
+	w := make(map[key]float64, g.M()+len(d.ops))
+	for u := 0; u < g.n; u++ {
+		for i := g.outPtr[u]; i < g.outPtr[u+1]; i++ {
+			w[key{u, g.outTo[i]}] = g.outW[i]
+		}
+	}
+	for i, op := range d.ops {
+		k := key{op.from, op.to}
+		switch op.kind {
+		case opAddEdge:
+			w[k] += op.w
+		case opRemoveEdge:
+			if _, ok := w[k]; !ok {
+				return nil, fmt.Errorf("graph: delta op %d removes edge (%d,%d): %w", i, op.from, op.to, ErrEdgeNotFound)
+			}
+			delete(w, k)
+		}
+	}
+	b := NewBuilder(g.n + d.addNodes)
+	for k, weight := range w {
+		if err := b.AddEdge(k.from, k.to, weight); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// AddEdge returns a copy of the graph with weight added to the directed
+// edge from -> to (created if absent). Single-op convenience over
+// NewDelta/Apply.
+func (g *Graph) AddEdge(from, to int, weight float64) (*Graph, error) {
+	d := g.NewDelta()
+	if err := d.AddEdge(from, to, weight); err != nil {
+		return nil, err
+	}
+	return g.Apply(d)
+}
+
+// RemoveEdge returns a copy of the graph without the (merged) directed
+// edge from -> to; a missing edge fails with ErrEdgeNotFound.
+func (g *Graph) RemoveEdge(from, to int) (*Graph, error) {
+	d := g.NewDelta()
+	if err := d.RemoveEdge(from, to); err != nil {
+		return nil, err
+	}
+	return g.Apply(d)
+}
+
+// AddNode returns a copy of the graph with one new edgeless node
+// appended, along with the new node's id.
+func (g *Graph) AddNode() (*Graph, int) {
+	d := g.NewDelta()
+	id := d.AddNode()
+	g2, err := g.Apply(d)
+	if err != nil {
+		panic(err) // a pure node insertion cannot fail validation
+	}
+	return g2, id
+}

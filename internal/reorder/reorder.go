@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"kdash/internal/graph"
 	"kdash/internal/louvain"
@@ -57,6 +58,19 @@ func (m Method) String() string {
 
 // Methods lists the strategies compared in Figures 5 and 6.
 var Methods = []Method{Degree, Cluster, Hybrid, Random}
+
+// Parse maps a method name — as printed by String, case-insensitive —
+// back to the Method. The single inverse of String, shared by the CLI
+// flags and the sharded-index manifest loader so a new method cannot
+// be nameable in one place and unparseable in the other.
+func Parse(name string) (Method, error) {
+	for _, m := range []Method{Degree, Cluster, Hybrid, Random, Natural} {
+		if strings.EqualFold(name, m.String()) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("reorder: unknown method %q", name)
+}
 
 // Compute returns the permutation (perm[old] = new) for the chosen method.
 // The seed feeds Louvain's visit order and the Random method; the same

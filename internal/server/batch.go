@@ -51,6 +51,7 @@ func (h *Handler) topKBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.qBatch.Add(1)
+	st := h.snap()
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		h.badRequest(w, "bad JSON: %v", err)
@@ -66,8 +67,8 @@ func (h *Handler) topKBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	queries := make([]core.BatchQuery, len(req.Queries))
 	for i, bq := range req.Queries {
-		if bq.Q < 0 || bq.Q >= h.engine.N() {
-			h.badRequest(w, "query %d: node %d outside [0,%d)", i, bq.Q, h.engine.N())
+		if bq.Q < 0 || bq.Q >= st.engine.N() {
+			h.badRequest(w, "query %d: node %d outside [0,%d)", i, bq.Q, st.engine.N())
 			return
 		}
 		if bq.K <= 0 {
@@ -85,7 +86,7 @@ func (h *Handler) topKBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	h.qBatchQueries.Add(int64(len(queries)))
 
-	results, stats, err := h.runBatch(queries)
+	results, stats, err := st.runBatch(queries)
 	if err != nil {
 		h.internalError(w, err)
 		return
@@ -117,19 +118,21 @@ func (h *Handler) topKBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// runBatch dispatches to the engine's batched path when it has one.
-func (h *Handler) runBatch(queries []core.BatchQuery) ([][]topk.Result, []core.SearchStats, error) {
-	if h.batch != nil {
-		return h.batch.SearchBatch(queries)
+// runBatch dispatches to the engine's batched path when it has one. It
+// is a method of the epoch snapshot, not the handler, so the whole
+// batch runs against one engine even when an update lands mid-request.
+func (st *engineState) runBatch(queries []core.BatchQuery) ([][]topk.Result, []core.SearchStats, error) {
+	if st.batch != nil {
+		return st.batch.SearchBatch(queries)
 	}
 	results := make([][]topk.Result, len(queries))
 	stats := make([]core.SearchStats, len(queries))
 	for i, bq := range queries {
-		rs, st, err := h.engine.Search(bq.Q, core.SearchOptions{K: bq.K, Exclude: bq.Exclude})
+		rs, s, err := st.engine.Search(bq.Q, core.SearchOptions{K: bq.K, Exclude: bq.Exclude})
 		if err != nil {
 			return nil, nil, err
 		}
-		results[i], stats[i] = rs, st
+		results[i], stats[i] = rs, s
 	}
 	return results, stats, nil
 }

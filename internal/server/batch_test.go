@@ -70,7 +70,7 @@ func TestBatchEndpointMatchesSingle(t *testing.T) {
 	engines := map[string]Engine{}
 	{
 		hm, _ := testHandler(t)
-		engines["monolithic"] = hm.engine
+		engines["monolithic"] = hm.snap().engine
 	}
 	sx, err := shard.Build(g, shard.Options{Shards: 4, Reorder: reorder.Hybrid, Seed: 1})
 	if err != nil {
@@ -157,8 +157,8 @@ type noBatchEngine struct{ Engine }
 
 func TestBatchEndpointSequentialFallback(t *testing.T) {
 	hm, _ := testHandler(t)
-	h := New(noBatchEngine{hm.engine})
-	if h.batch != nil {
+	h := New(noBatchEngine{hm.snap().engine})
+	if h.snap().batch != nil {
 		t.Fatal("fallback engine unexpectedly batched")
 	}
 	rec := post(t, h, "/topk/batch", `{"queries":[{"q":7,"k":5},{"q":3,"k":2}]}`)
@@ -178,7 +178,7 @@ func TestBatchEndpointSequentialFallback(t *testing.T) {
 // exact status codes.
 func TestBatchEndpointValidation(t *testing.T) {
 	hm, _ := testHandler(t)
-	h := New(hm.engine, WithMaxBatch(4))
+	h := New(hm.snap().engine, WithMaxBatch(4))
 	for _, tc := range []struct {
 		body string
 		want int

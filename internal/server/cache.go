@@ -9,14 +9,20 @@ import (
 
 // vectorCache is a small LRU of full proximity vectors keyed by query
 // node. Proximity vectors are immutable once computed (indexes are
-// read-only), so cached entries never go stale; the only policy is
-// recency eviction. Guarded by one mutex: a hit is a map lookup plus a
-// list splice, far below the cost of the query it saves.
+// read-only within an epoch), so inside one epoch the only policy is
+// recency eviction. Across epochs entries DO go stale — POST /update
+// swaps the engine — so the cache is tagged with the epoch its entries
+// were computed under: a get or put carrying a newer epoch flushes
+// everything first, and a put from a request that raced an update
+// (computed under an older epoch) is dropped rather than poisoning the
+// new epoch. Guarded by one mutex: a hit is a map lookup plus a list
+// splice, far below the cost of the query it saves.
 type vectorCache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used; values are *cacheEntry
-	m   map[int]*list.Element
+	mu    sync.Mutex
+	cap   int
+	epoch int
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	m     map[int]*list.Element
 }
 
 type cacheEntry struct {
@@ -28,11 +34,19 @@ func newVectorCache(capacity int) *vectorCache {
 	return &vectorCache{cap: capacity, ll: list.New(), m: make(map[int]*list.Element, capacity)}
 }
 
-// get returns the cached vector for q, refreshing its recency. Callers
-// must treat the vector as read-only: it is shared across requests.
-func (c *vectorCache) get(q int) ([]float64, bool) {
+// get returns the cached vector for q at the given epoch, refreshing
+// its recency. An epoch ahead of the cache flushes the stale entries
+// and misses. Callers must treat the vector as read-only: it is shared
+// across requests.
+func (c *vectorCache) get(q, epoch int) ([]float64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		if epoch > c.epoch {
+			c.flushLocked(epoch)
+		}
+		return nil, false
+	}
 	el, ok := c.m[q]
 	if !ok {
 		return nil, false
@@ -41,11 +55,19 @@ func (c *vectorCache) get(q int) ([]float64, bool) {
 	return el.Value.(*cacheEntry).vec, true
 }
 
-// put inserts (or refreshes) q's vector, evicting the least recently
-// used entry when full.
-func (c *vectorCache) put(q int, vec []float64) {
+// put inserts (or refreshes) q's vector computed under the given epoch,
+// evicting the least recently used entry when full. A vector computed
+// under an older epoch than the cache's is dropped: its request raced
+// an update and lost.
+func (c *vectorCache) put(q int, vec []float64, epoch int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		if epoch < c.epoch {
+			return
+		}
+		c.flushLocked(epoch)
+	}
 	if el, ok := c.m[q]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).vec = vec
@@ -57,6 +79,23 @@ func (c *vectorCache) put(q int, vec []float64) {
 		c.ll.Remove(last)
 		delete(c.m, last.Value.(*cacheEntry).q)
 	}
+}
+
+// flush drops every entry and advances to the given epoch (no-op for a
+// stale epoch) — called by /update on swap so stale vectors free their
+// memory promptly instead of waiting to be evicted.
+func (c *vectorCache) flush(epoch int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch > c.epoch {
+		c.flushLocked(epoch)
+	}
+}
+
+func (c *vectorCache) flushLocked(epoch int) {
+	c.epoch = epoch
+	c.ll.Init()
+	clear(c.m)
 }
 
 func (c *vectorCache) len() int {

@@ -82,31 +82,59 @@ func TestCacheHitMatchesEngine(t *testing.T) {
 // oldest falls out.
 func TestCacheEviction(t *testing.T) {
 	c := newVectorCache(2)
-	c.put(1, []float64{1})
-	c.put(2, []float64{2})
-	if _, ok := c.get(1); !ok { // refresh 1; 2 becomes LRU
+	c.put(1, []float64{1}, 0)
+	c.put(2, []float64{2}, 0)
+	if _, ok := c.get(1, 0); !ok { // refresh 1; 2 becomes LRU
 		t.Fatal("entry 1 missing")
 	}
-	c.put(3, []float64{3})
-	if _, ok := c.get(2); ok {
+	c.put(3, []float64{3}, 0)
+	if _, ok := c.get(2, 0); ok {
 		t.Error("LRU entry 2 survived eviction")
 	}
-	if _, ok := c.get(1); !ok {
+	if _, ok := c.get(1, 0); !ok {
 		t.Error("refreshed entry 1 evicted")
 	}
-	if _, ok := c.get(3); !ok {
+	if _, ok := c.get(3, 0); !ok {
 		t.Error("new entry 3 missing")
 	}
 	if c.len() != 2 {
 		t.Errorf("len = %d, want 2", c.len())
 	}
 	// Re-putting an existing key refreshes, not duplicates.
-	c.put(1, []float64{10})
+	c.put(1, []float64{10}, 0)
 	if c.len() != 2 {
 		t.Errorf("len after re-put = %d, want 2", c.len())
 	}
-	if v, _ := c.get(1); v[0] != 10 {
+	if v, _ := c.get(1, 0); v[0] != 10 {
 		t.Errorf("re-put did not replace value: %v", v)
+	}
+}
+
+// TestCacheEpochInvalidation checks the swap semantics: a newer epoch
+// flushes stale entries, and a put computed under an older epoch is
+// dropped rather than poisoning the new epoch.
+func TestCacheEpochInvalidation(t *testing.T) {
+	c := newVectorCache(4)
+	c.put(1, []float64{1}, 0)
+	c.flush(1)
+	if _, ok := c.get(1, 1); ok {
+		t.Error("stale entry survived the epoch flush")
+	}
+	// A racing old-epoch writer must not insert.
+	c.put(2, []float64{2}, 0)
+	if _, ok := c.get(2, 1); ok {
+		t.Error("old-epoch put landed in the new epoch")
+	}
+	if c.len() != 0 {
+		t.Errorf("len = %d, want 0", c.len())
+	}
+	// A get carrying a newer epoch than the cache flushes implicitly.
+	c.put(3, []float64{3}, 1)
+	if _, ok := c.get(3, 2); ok {
+		t.Error("entry served across epochs")
+	}
+	if c.len() != 0 {
+		t.Errorf("len after implicit flush = %d, want 0", c.len())
 	}
 }
 

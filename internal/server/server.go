@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"kdash/internal/core"
@@ -82,10 +84,23 @@ func WithMaxBatch(n int) Option {
 	}
 }
 
+// engineState is one immutable epoch of the serving engine: the engine
+// plus its optional capabilities, resolved once per swap. Every request
+// loads the pointer exactly once and runs entirely against that
+// snapshot, so an update swapping the pointer mid-flight never hands a
+// request two different indexes — the copy-on-swap epoch scheme that
+// makes POST /update safe against pooled in-flight queries.
+type engineState struct {
+	engine Engine
+	batch  BatchEngine // nil: fall back to sequential Search
+	upd    Updatable   // nil: static engine, /update answers 501
+	epoch  int
+}
+
 // Handler serves queries against one engine.
 type Handler struct {
-	engine   Engine
-	batch    BatchEngine // nil: fall back to sequential Search
+	state    atomic.Pointer[engineState]
+	updateMu sync.Mutex // serialises /update appliers (single writer)
 	mux      *http.ServeMux
 	start    time.Time
 	maxBatch int
@@ -107,16 +122,32 @@ type Handler struct {
 	terminated    expvar.Int
 	cacheHits     expvar.Int
 	cacheMisses   expvar.Int
+
+	// Update-path counters.
+	qUpdates       expvar.Int // /update requests accepted and applied
+	updUnsupported expvar.Int // /update against a static engine (501)
+	updShards      expvar.Int // cumulative shards refactorized by updates
+	updReparts     expvar.Int // updates that triggered a re-partition
+	updEdges       expvar.Int // cumulative edge ops applied
+	updNodes       expvar.Int // cumulative nodes inserted
 }
 
 // New wraps an engine in an http.Handler. The engine must not be modified
 // afterwards (indexes are immutable after construction, so this is the
-// natural usage).
+// natural usage); POST /update replaces the engine with a successor
+// epoch rather than mutating it.
 func New(engine Engine, opts ...Option) *Handler {
-	h := &Handler{engine: engine, mux: http.NewServeMux(), start: time.Now(), maxBatch: DefaultMaxBatch}
-	if be, ok := engine.(BatchEngine); ok {
-		h.batch = be
+	h := &Handler{mux: http.NewServeMux(), start: time.Now(), maxBatch: DefaultMaxBatch}
+	// Seed the epoch from the engine itself: a server started from a
+	// saved, previously-updated sharded index reports that index's real
+	// epoch, not 0 (the v2 manifest persists it; a monolithic index
+	// serialises without its epoch — or its graph — so it reloads at 0
+	// and /update answers 501 anyway).
+	epoch := 0
+	if e, ok := engine.(interface{ Epoch() int }); ok {
+		epoch = e.Epoch()
 	}
+	h.state.Store(newEngineState(engine, epoch))
 	for _, o := range opts {
 		o(h)
 	}
@@ -124,10 +155,28 @@ func New(engine Engine, opts ...Option) *Handler {
 	h.mux.HandleFunc("/topk/batch", h.topKBatch)
 	h.mux.HandleFunc("/personalized", h.personalized)
 	h.mux.HandleFunc("/proximity", h.proximity)
+	h.mux.HandleFunc("/update", h.update)
 	h.mux.HandleFunc("/healthz", h.health)
 	h.mux.HandleFunc("/statz", h.statz)
 	return h
 }
+
+// newEngineState resolves an engine's optional capabilities into one
+// immutable epoch snapshot.
+func newEngineState(engine Engine, epoch int) *engineState {
+	st := &engineState{engine: engine, epoch: epoch}
+	if be, ok := engine.(BatchEngine); ok {
+		st.batch = be
+	}
+	if u, ok := engine.(Updatable); ok {
+		st.upd = u
+	}
+	return st
+}
+
+// snap returns the current engine epoch. Handlers call it exactly once
+// per request and thread the snapshot through, never re-loading.
+func (h *Handler) snap() *engineState { return h.state.Load() }
 
 // ServeHTTP implements http.Handler. A panic anywhere below — the shard
 // solve path asserts internal invariants with panics — is recovered into
@@ -196,14 +245,14 @@ type topKResponse struct {
 }
 
 // nodeParam parses query parameter name as a node id and range-checks it
-// against the engine.
-func (h *Handler) nodeParam(r *http.Request, name string) (int, error) {
+// against the request's engine snapshot.
+func nodeParam(r *http.Request, name string, n int) (int, error) {
 	v, err := intParam(r, name)
 	if err != nil {
 		return 0, err
 	}
-	if v < 0 || v >= h.engine.N() {
-		return 0, fmt.Errorf("node %q = %d outside [0,%d)", name, v, h.engine.N())
+	if v < 0 || v >= n {
+		return 0, fmt.Errorf("node %q = %d outside [0,%d)", name, v, n)
 	}
 	return v, nil
 }
@@ -233,7 +282,8 @@ func (h *Handler) topK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.qTopK.Add(1)
-	q, err := h.nodeParam(r, "q")
+	st := h.snap()
+	q, err := nodeParam(r, "q", st.engine.N())
 	if err != nil {
 		h.badRequest(w, "%v", err)
 		return
@@ -253,14 +303,14 @@ func (h *Handler) topK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if h.cache != nil {
-		vec, ok := h.cachedVector(w, q)
+		vec, ok := h.cachedVector(w, st, q)
 		if !ok {
 			return // miss that failed; already reported
 		}
 		writeResults(w, k, rankVector(vec, k, exclude), core.SearchStats{}, true)
 		return
 	}
-	results, stats, err := h.engine.Search(q, core.SearchOptions{K: k, Exclude: exclude})
+	results, stats, err := st.engine.Search(q, core.SearchOptions{K: k, Exclude: exclude})
 	if err != nil {
 		h.internalError(w, err)
 		return
@@ -271,19 +321,21 @@ func (h *Handler) topK(w http.ResponseWriter, r *http.Request) {
 
 // cachedVector returns q's proximity vector through the LRU, computing
 // and inserting it on a miss. The false return means the engine failed
-// and the error response has been written.
-func (h *Handler) cachedVector(w http.ResponseWriter, q int) ([]float64, bool) {
-	if vec, ok := h.cache.get(q); ok {
+// and the error response has been written. Entries are tagged with the
+// epoch they were computed under, and /update purges the cache on swap,
+// so a hit never serves a stale epoch's vector.
+func (h *Handler) cachedVector(w http.ResponseWriter, st *engineState, q int) ([]float64, bool) {
+	if vec, ok := h.cache.get(q, st.epoch); ok {
 		h.cacheHits.Add(1)
 		return vec, true
 	}
 	h.cacheMisses.Add(1)
-	vec, err := h.engine.ProximityVector(q)
+	vec, err := st.engine.ProximityVector(q)
 	if err != nil {
 		h.internalError(w, err)
 		return nil, false
 	}
-	h.cache.put(q, vec)
+	h.cache.put(q, vec, st.epoch)
 	return vec, true
 }
 
@@ -300,6 +352,7 @@ func (h *Handler) personalized(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.qPers.Add(1)
+	st := h.snap()
 	var req personalizedRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		h.badRequest(w, "bad JSON: %v", err)
@@ -320,8 +373,8 @@ func (h *Handler) personalized(w http.ResponseWriter, r *http.Request) {
 			h.badRequest(w, "bad seed id %q", key)
 			return
 		}
-		if node < 0 || node >= h.engine.N() {
-			h.badRequest(w, "seed node %d outside [0,%d)", node, h.engine.N())
+		if node < 0 || node >= st.engine.N() {
+			h.badRequest(w, "seed node %d outside [0,%d)", node, st.engine.N())
 			return
 		}
 		if weight <= 0 {
@@ -330,7 +383,7 @@ func (h *Handler) personalized(w http.ResponseWriter, r *http.Request) {
 		}
 		seeds[node] = weight
 	}
-	results, stats, err := h.engine.TopKPersonalized(seeds, req.K)
+	results, stats, err := st.engine.TopKPersonalized(seeds, req.K)
 	if err != nil {
 		h.internalError(w, err)
 		return
@@ -346,12 +399,13 @@ func (h *Handler) proximity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.qProx.Add(1)
-	q, err := h.nodeParam(r, "q")
+	st := h.snap()
+	q, err := nodeParam(r, "q", st.engine.N())
 	if err != nil {
 		h.badRequest(w, "%v", err)
 		return
 	}
-	u, err := h.nodeParam(r, "u")
+	u, err := nodeParam(r, "u", st.engine.N())
 	if err != nil {
 		h.badRequest(w, "%v", err)
 		return
@@ -361,14 +415,14 @@ func (h *Handler) proximity(w http.ResponseWriter, r *http.Request) {
 	// engine's single-pair path — but still counts as a miss, so the
 	// /statz hit rate reflects the real workload.
 	if h.cache != nil {
-		if vec, ok := h.cache.get(q); ok {
+		if vec, ok := h.cache.get(q, st.epoch); ok {
 			h.cacheHits.Add(1)
 			writeJSON(w, map[string]float64{"proximity": vec[u]})
 			return
 		}
 		h.cacheMisses.Add(1)
 	}
-	p, err := h.engine.Proximity(q, u)
+	p, err := st.engine.Proximity(q, u)
 	if err != nil {
 		h.internalError(w, err)
 		return
@@ -378,10 +432,12 @@ func (h *Handler) proximity(w http.ResponseWriter, r *http.Request) {
 
 // health handles GET /healthz.
 func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
+	st := h.snap()
 	writeJSON(w, map[string]interface{}{
 		"status":  "ok",
-		"nodes":   h.engine.N(),
-		"restart": h.engine.Restart(),
+		"nodes":   st.engine.N(),
+		"restart": st.engine.Restart(),
+		"epoch":   st.epoch,
 	})
 }
 
@@ -394,6 +450,7 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	st := h.snap()
 	doc := map[string]interface{}{
 		"uptimeSeconds": time.Since(h.start).Seconds(),
 		"queries": map[string]int64{
@@ -412,6 +469,15 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 			"proximityComputations": h.proxComps.Value(),
 			"terminatedEarly":       h.terminated.Value(),
 		},
+		"updates": map[string]int64{
+			"applied":       h.qUpdates.Value(),
+			"epoch":         int64(st.epoch),
+			"shardsRebuilt": h.updShards.Value(),
+			"repartitions":  h.updReparts.Value(),
+			"edgeOps":       h.updEdges.Value(),
+			"nodesAdded":    h.updNodes.Value(),
+			"unsupported":   h.updUnsupported.Value(),
+		},
 	}
 	if h.cache != nil {
 		doc["cache"] = map[string]int64{
@@ -420,7 +486,7 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 			"entries": int64(h.cache.len()),
 		}
 	}
-	if s, ok := h.engine.(Statser); ok {
+	if s, ok := st.engine.(Statser); ok {
 		doc["index"] = s.Statz()
 	}
 	writeJSON(w, doc)

@@ -1,0 +1,190 @@
+package server
+
+// POST /update: the dynamic-graph surface. The request body is one
+// batch of mutations; the handler validates it fully, hands it to the
+// engine's ApplyDelta, and atomically swaps the engine pointer to the
+// returned successor epoch. In-flight queries loaded the old pointer
+// and finish against the old (still fully valid) index — the drain is
+// free because epochs are immutable — while every request arriving
+// after the swap sees the new one. Updates are serialised through a
+// mutex: the write path is single-writer by design, the read path
+// never blocks.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"kdash/internal/core"
+	"kdash/internal/graph"
+)
+
+// Updatable is implemented by engines that absorb graph deltas by
+// producing a successor engine (both index shapes do: the sharded
+// index incrementally, the monolithic one by full rebuild). ApplyDelta
+// returns the successor untyped; the handler asserts Engine on it.
+type Updatable interface {
+	ApplyDelta(batch *graph.Delta) (next any, stats core.UpdateStats, err error)
+}
+
+// MaxAddNodes bounds node insertions per /update request, so a single
+// request cannot balloon the index arbitrarily.
+const MaxAddNodes = 65536
+
+// MaxEdgeOps bounds addEdges + removeEdges per /update request, and
+// maxUpdateBody caps the request body read at all — together they keep
+// one request from exhausting memory or monopolising the single-writer
+// update lock with a multi-second apply.
+const MaxEdgeOps = 65536
+
+// maxUpdateBody comfortably fits MaxEdgeOps JSON edge ops (~64 bytes
+// each) plus slack.
+const maxUpdateBody = 8 << 20
+
+// edgeJSON is one edge op on the wire; Weight is ignored for removals.
+type edgeJSON struct {
+	From   int     `json:"from"`
+	To     int     `json:"to"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// updateRequest is the POST /update payload. Ops apply in field order:
+// node insertions first (their ids are n, n+1, ... and may be used by
+// the edge ops), then edge additions, then removals.
+type updateRequest struct {
+	AddNodes    int        `json:"addNodes,omitempty"`
+	AddEdges    []edgeJSON `json:"addEdges,omitempty"`
+	RemoveEdges []edgeJSON `json:"removeEdges,omitempty"`
+}
+
+// updateResponse reports the applied batch.
+type updateResponse struct {
+	Epoch         int   `json:"epoch"`
+	Nodes         int   `json:"nodes"` // node count after the update
+	EdgesAdded    int   `json:"edgesAdded"`
+	EdgesRemoved  int   `json:"edgesRemoved"`
+	NodesAdded    int   `json:"nodesAdded"`
+	ShardsRebuilt int   `json:"shardsRebuilt"`
+	Repartitioned bool  `json:"repartitioned"`
+	FullRebuild   bool  `json:"fullRebuild"`
+	ApplyMillis   int64 `json:"applyMillis"`
+}
+
+// update handles POST /update.
+func (h *Handler) update(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req updateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody)).Decode(&req); err != nil {
+		h.badRequest(w, "bad JSON: %v", err)
+		return
+	}
+	if req.AddNodes < 0 {
+		h.badRequest(w, "addNodes must be non-negative, got %d", req.AddNodes)
+		return
+	}
+	if req.AddNodes > MaxAddNodes {
+		h.badRequest(w, "addNodes %d exceeds limit %d", req.AddNodes, MaxAddNodes)
+		return
+	}
+	if ops := len(req.AddEdges) + len(req.RemoveEdges); ops > MaxEdgeOps {
+		h.badRequest(w, "%d edge ops exceed limit %d", ops, MaxEdgeOps)
+		return
+	}
+	if req.AddNodes == 0 && len(req.AddEdges) == 0 && len(req.RemoveEdges) == 0 {
+		h.badRequest(w, "empty update")
+		return
+	}
+
+	// Serialise appliers: the batch must be validated against the epoch
+	// it will actually apply to, so the snapshot is taken under the lock.
+	h.updateMu.Lock()
+	defer h.updateMu.Unlock()
+	st := h.snap()
+	if st.upd == nil {
+		h.updUnsupported.Add(1)
+		httpError(w, http.StatusNotImplemented, "engine does not support updates (rebuild from the source graph instead)")
+		return
+	}
+	batch, err := buildDelta(st.engine.N(), &req)
+	if err != nil {
+		h.badRequest(w, "%v", err)
+		return
+	}
+
+	t0 := time.Now()
+	next, stats, err := st.upd.ApplyDelta(batch)
+	if err != nil {
+		switch {
+		// The one engine-side failure a client can cause with a
+		// well-formed request: removing an edge that is not there.
+		case errors.Is(err, graph.ErrEdgeNotFound):
+			h.badRequest(w, "%v", err)
+		// An index loaded without its graph snapshot implements the
+		// interface but cannot replay deltas: same answer as a static
+		// engine.
+		case errors.Is(err, core.ErrNotUpdatable):
+			h.updUnsupported.Add(1)
+			httpError(w, http.StatusNotImplemented, err.Error())
+		default:
+			h.internalError(w, err)
+		}
+		return
+	}
+	engine, ok := next.(Engine)
+	if !ok {
+		h.internalError(w, fmt.Errorf("engine %T returned a non-engine successor %T", st.upd, next))
+		return
+	}
+	h.state.Store(newEngineState(engine, stats.Epoch))
+	if h.cache != nil {
+		h.cache.flush(stats.Epoch)
+	}
+	h.qUpdates.Add(1)
+	h.updShards.Add(int64(stats.ShardsRebuilt))
+	h.updEdges.Add(int64(stats.EdgesAdded + stats.EdgesRemoved))
+	h.updNodes.Add(int64(stats.NodesAdded))
+	if stats.Repartitioned {
+		h.updReparts.Add(1)
+	}
+	writeJSON(w, updateResponse{
+		Epoch:         stats.Epoch,
+		Nodes:         engine.N(),
+		EdgesAdded:    stats.EdgesAdded,
+		EdgesRemoved:  stats.EdgesRemoved,
+		NodesAdded:    stats.NodesAdded,
+		ShardsRebuilt: stats.ShardsRebuilt,
+		Repartitioned: stats.Repartitioned,
+		FullRebuild:   stats.FullRebuild,
+		ApplyMillis:   time.Since(t0).Milliseconds(),
+	})
+}
+
+// buildDelta validates the request against the engine's node count and
+// assembles the batch. Every failure here is a 400: nothing has been
+// applied.
+func buildDelta(n int, req *updateRequest) (*graph.Delta, error) {
+	d := graph.NewDelta(n)
+	for i := 0; i < req.AddNodes; i++ {
+		d.AddNode()
+	}
+	for i, e := range req.AddEdges {
+		if e.Weight == 0 {
+			e.Weight = 1 // unweighted graphs omit the field
+		}
+		// Range and positive-weight validation live in Delta.AddEdge.
+		if err := d.AddEdge(e.From, e.To, e.Weight); err != nil {
+			return nil, fmt.Errorf("addEdges[%d]: %v", i, err)
+		}
+	}
+	for i, e := range req.RemoveEdges {
+		if err := d.RemoveEdge(e.From, e.To); err != nil {
+			return nil, fmt.Errorf("removeEdges[%d]: %v", i, err)
+		}
+	}
+	return d, nil
+}

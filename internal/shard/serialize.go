@@ -28,13 +28,29 @@ import (
 	"path/filepath"
 
 	"kdash/internal/core"
+	"kdash/internal/graph"
+	"kdash/internal/reorder"
 )
+
+// parseReorder maps a manifest's reorder name back to the method. The
+// empty string (v1 manifests) selects Hybrid; with no graph snapshot
+// alongside it the value is never replayed anyway.
+func parseReorder(name string) (reorder.Method, error) {
+	if name == "" {
+		return reorder.Hybrid, nil
+	}
+	return reorder.Parse(name)
+}
 
 // ManifestName is the file that marks a directory as a sharded index.
 const ManifestName = "manifest.json"
 
 // manifestVersion is bumped whenever the directory layout changes.
-const manifestVersion = 1
+// Version 2 added the dynamic-update state: a graph snapshot (edge
+// list), the build inputs Apply replays (reorder method, seed), the
+// per-shard staleness counters and the epoch number. Version 1
+// directories still load — they just reject Apply, having no graph.
+const manifestVersion = 2
 
 // manifest is the JSON document written to ManifestName.
 type manifest struct {
@@ -46,7 +62,16 @@ type manifest struct {
 	ShardFiles     []string `json:"shardFiles"`
 	AssignmentFile string   `json:"assignmentFile"`
 	CutsFile       string   `json:"cutsFile"`
-	Stats          struct {
+
+	// Version 2 fields (absent from v1 directories).
+	GraphFile      string `json:"graphFile,omitempty"`
+	Reorder        string `json:"reorder,omitempty"`
+	Seed           int64  `json:"seed,omitempty"`
+	Epoch          int    `json:"epoch,omitempty"`
+	StalenessLimit int    `json:"stalenessLimit,omitempty"`
+	Staleness      []int  `json:"staleness,omitempty"`
+
+	Stats struct {
 		Sizes         []int   `json:"sizes"`
 		CutEdges      int     `json:"cutEdges"`
 		CutWeightFrac float64 `json:"cutWeightFrac"`
@@ -81,6 +106,17 @@ func (sx *ShardedIndex) Save(dir string) error {
 	m.QueryTol = sx.qtol
 	m.AssignmentFile = "assignment.bin"
 	m.CutsFile = "cuts.bin"
+	m.Reorder = sx.method.String()
+	m.Seed = sx.seed
+	m.Epoch = sx.epoch
+	m.StalenessLimit = sx.stalenessLimit
+	m.Staleness = sx.staleness
+	if sx.g != nil {
+		m.GraphFile = "graph.tsv"
+		if err := writeFile(filepath.Join(dir, m.GraphFile), sx.g.WriteEdgeList); err != nil {
+			return fmt.Errorf("shard: saving graph snapshot: %w", err)
+		}
+	}
 	m.Stats.Sizes = sx.stats.Sizes
 	m.Stats.CutEdges = sx.stats.CutEdges
 	m.Stats.CutWeightFrac = sx.stats.CutWeightFrac
@@ -179,24 +215,76 @@ func Load(dir string) (*ShardedIndex, error) {
 	if err := json.Unmarshal(blob, &m); err != nil {
 		return nil, fmt.Errorf("shard: decoding manifest: %w", err)
 	}
-	if m.Version != manifestVersion {
-		return nil, fmt.Errorf("shard: unsupported manifest version %d (want %d)", m.Version, manifestVersion)
+	if m.Version != 1 && m.Version != manifestVersion {
+		return nil, fmt.Errorf("shard: unsupported manifest version %d (want <= %d)", m.Version, manifestVersion)
 	}
-	if m.Nodes <= 0 || m.Shards <= 0 || m.Shards > m.Nodes || len(m.ShardFiles) != m.Shards {
+	if m.Nodes <= 0 || m.Nodes > 1<<40 || m.Shards <= 0 || m.Shards > m.Nodes || len(m.ShardFiles) != m.Shards {
 		return nil, fmt.Errorf("shard: corrupt manifest (nodes=%d shards=%d files=%d)", m.Nodes, m.Shards, len(m.ShardFiles))
 	}
 	if m.Restart <= 0 || m.Restart >= 1 {
 		return nil, fmt.Errorf("shard: corrupt manifest (restart %v)", m.Restart)
 	}
+	method, err := parseReorder(m.Reorder)
+	if err != nil {
+		return nil, fmt.Errorf("shard: corrupt manifest: %w", err)
+	}
+	// File references must be plain names inside the directory.
+	names := append([]string{m.AssignmentFile, m.CutsFile}, m.ShardFiles...)
+	if m.GraphFile != "" {
+		names = append(names, m.GraphFile)
+	}
+	for _, name := range names {
+		if name == "" || name != filepath.Base(name) {
+			return nil, fmt.Errorf("shard: corrupt manifest (file reference %q)", name)
+		}
+	}
+	// Bound the node count by the assignment file's actual size before
+	// allocating anything node-sized: a corrupt manifest cannot make the
+	// loader commit memory the directory does not carry.
+	if fi, err := os.Stat(filepath.Join(dir, m.AssignmentFile)); err != nil {
+		return nil, fmt.Errorf("shard: checking assignment: %w", err)
+	} else if fi.Size() != int64(m.Nodes)*4 {
+		return nil, fmt.Errorf("shard: assignment file has %d bytes, want %d for %d nodes", fi.Size(), int64(m.Nodes)*4, m.Nodes)
+	}
 	sx := &ShardedIndex{
-		n:     m.Nodes,
-		c:     m.Restart,
-		qtol:  m.QueryTol,
-		local: make([]int, m.Nodes),
-		parts: make([]*part, m.Shards),
+		n:              m.Nodes,
+		c:              m.Restart,
+		qtol:           m.QueryTol,
+		local:          make([]int, m.Nodes),
+		parts:          make([]*part, m.Shards),
+		method:         method,
+		seed:           m.Seed,
+		epoch:          m.Epoch,
+		stalenessLimit: m.StalenessLimit,
 	}
 	if sx.qtol <= 0 {
 		sx.qtol = DefaultQueryTol
+	}
+	if sx.stalenessLimit == 0 {
+		sx.stalenessLimit = DefaultStalenessLimit
+	}
+	switch {
+	case m.Staleness == nil:
+		sx.staleness = make([]int, m.Shards)
+	case len(m.Staleness) == m.Shards:
+		sx.staleness = append([]int(nil), m.Staleness...)
+	default:
+		return nil, fmt.Errorf("shard: corrupt manifest (%d staleness counters for %d shards)", len(m.Staleness), m.Shards)
+	}
+	if m.GraphFile != "" {
+		f, err := os.Open(filepath.Join(dir, m.GraphFile))
+		if err != nil {
+			return nil, fmt.Errorf("shard: opening graph snapshot: %w", err)
+		}
+		g, err := graph.ParseEdgeList(f, m.Nodes)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("shard: reading graph snapshot: %w", err)
+		}
+		if g.N() != m.Nodes {
+			return nil, fmt.Errorf("shard: graph snapshot has %d nodes, manifest says %d", g.N(), m.Nodes)
+		}
+		sx.g = g
 	}
 	if sx.home, err = readAssignment(filepath.Join(dir, m.AssignmentFile), m.Nodes, m.Shards); err != nil {
 		return nil, err

@@ -1,12 +1,15 @@
 package shard
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"kdash/internal/gen"
+	"kdash/internal/graph"
 	"kdash/internal/reorder"
+	"kdash/internal/testutil"
 )
 
 // TestSaveLoadRoundTrip checks that a loaded sharded index answers every
@@ -53,6 +56,123 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	// Persisted stats survive the trip.
 	if loaded.Stats().CutEdges != built.Stats().CutEdges || loaded.Stats().NNZInverse != built.Stats().NNZInverse {
 		t.Errorf("stats mismatch: loaded %+v, built %+v", loaded.Stats(), built.Stats())
+	}
+}
+
+// TestUpdatedIndexRoundTrip checks the v2 manifest carries the dynamic
+// state: an updated index saves, loads, keeps its epoch and graph
+// snapshot, and accepts further updates that stay bit-identical to the
+// never-serialised chain.
+func TestUpdatedIndexRoundTrip(t *testing.T) {
+	g := testutil.Clustered(120, 4, 13)
+	sx, err := Build(g, Options{Shards: 4, Reorder: reorder.Hybrid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.NewDelta()
+	id := d.AddNode()
+	if err := d.AddEdge(id, 3, 1.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(5, id, 0.75); err != nil {
+		t.Fatal(err)
+	}
+	sx, _, err = sx.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := sx.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Epoch() != 1 {
+		t.Fatalf("loaded epoch = %d, want 1", loaded.Epoch())
+	}
+	if loaded.Graph() == nil || loaded.Graph().N() != sx.N() || loaded.Graph().M() != sx.Graph().M() {
+		t.Fatal("graph snapshot did not round-trip")
+	}
+
+	// Apply the same follow-up batch to both and compare bit-for-bit.
+	d2 := sx.Graph().NewDelta()
+	if err := d2.AddEdge(10, 40, 2); err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := sx.Apply(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3 := loaded.Graph().NewDelta()
+	if err := d3.AddEdge(10, 40, 2); err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := loaded.Apply(d3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitIdentical(t, b, a, 8)
+}
+
+// TestLoadV1ManifestStillWorks checks backward compatibility: a v1
+// directory (no graph snapshot, no update state) loads and serves
+// queries but rejects Apply.
+func TestLoadV1ManifestStillWorks(t *testing.T) {
+	g := gen.ErdosRenyi(50, 220, 7)
+	sx, err := Build(g, Options{Shards: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := sx.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the manifest as version 1, dropping the v2 fields and the
+	// graph snapshot — the layout PR 1 shipped.
+	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = 1
+	for _, k := range []string{"graphFile", "reorder", "seed", "epoch", "stalenessLimit", "staleness"} {
+		delete(m, k)
+	}
+	blob, err = json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "graph.tsv")); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatalf("v1 manifest rejected: %v", err)
+	}
+	want, _, err := sx.TopK(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := loaded.TopK(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("i=%d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if _, _, err := loaded.Apply(graph.NewDelta(loaded.N())); err == nil {
+		t.Error("v1-loaded index accepted Apply without a graph snapshot")
 	}
 }
 

@@ -55,11 +55,26 @@ type Options struct {
 	// to; proximities are exact within QueryTol/c of the true values.
 	// Zero selects DefaultQueryTol.
 	QueryTol float64
+	// Assignment pins the node -> shard map explicitly instead of running
+	// the Louvain partitioner; the shard count is 1 + the maximum value
+	// and every shard must own at least one node. Shards is ignored when
+	// set. This is how a from-scratch rebuild reproduces an incrementally
+	// updated index bit-for-bit (see ShardedIndex.Assignment).
+	Assignment []int
+	// StalenessLimit is how many nodes may be appended to a shard by
+	// Apply before the shard is locally re-partitioned (its nodes
+	// re-homed to their best-connected shards). Zero selects
+	// DefaultStalenessLimit; negative disables re-partitioning.
+	StalenessLimit int
 }
 
 // DefaultQueryTol keeps query answers exact to ~1e-15, far inside the
 // 1e-9 the validation suite asserts.
 const DefaultQueryTol = 1e-15
+
+// DefaultStalenessLimit is the per-shard appended-node budget before
+// Apply re-partitions the shard locally.
+const DefaultStalenessLimit = 32
 
 // BuildStats reports partition-parallel precompute cost.
 type BuildStats struct {
@@ -97,7 +112,9 @@ type part struct {
 }
 
 // ShardedIndex is a partitioned K-dash index. Like core.Index it is
-// immutable after construction and safe for concurrent queries.
+// immutable after construction and safe for concurrent queries; dynamic
+// updates are functional (Apply returns a successor index), so an epoch
+// in a reader's hands never changes underneath it.
 type ShardedIndex struct {
 	n     int
 	c     float64
@@ -106,6 +123,19 @@ type ShardedIndex struct {
 	local []int // global node -> local id within its shard
 	parts []*part
 	stats BuildStats
+
+	// Update-path state: the current graph snapshot (nil when loaded
+	// from a pre-v2 manifest, which marks the index non-updatable), the
+	// build inputs Apply reuses so a rebuilt shard is bit-identical to a
+	// from-scratch one, the per-shard appended-node staleness counters,
+	// and the epoch number (0 for a fresh build, +1 per Apply).
+	g              *graph.Graph
+	method         reorder.Method
+	seed           int64
+	workers        int
+	stalenessLimit int
+	staleness      []int
+	epoch          int
 
 	// revAdj[d] lists the shards with a cut edge into shard d, the
 	// shard-granular reverse adjacency single-pair queries bound residual
@@ -205,16 +235,56 @@ func Build(g *graph.Graph, opt Options) (*ShardedIndex, error) {
 	}
 
 	start := time.Now()
-	home, communities, modularity := partition(g, s, opt.Seed)
+	var (
+		home        []int
+		communities int
+		modularity  float64
+	)
+	if opt.Assignment != nil {
+		if len(opt.Assignment) != n {
+			return nil, fmt.Errorf("shard: assignment has %d entries, graph has %d nodes", len(opt.Assignment), n)
+		}
+		s = 0
+		for u, si := range opt.Assignment {
+			if si < 0 {
+				return nil, fmt.Errorf("shard: assignment maps node %d to shard %d", u, si)
+			}
+			if si+1 > s {
+				s = si + 1
+			}
+		}
+		counts := make([]int, s)
+		for _, si := range opt.Assignment {
+			counts[si]++
+		}
+		for si, cnt := range counts {
+			if cnt == 0 {
+				return nil, fmt.Errorf("shard: assignment leaves shard %d of %d empty", si, s)
+			}
+		}
+		home = append([]int(nil), opt.Assignment...)
+	} else {
+		home, communities, modularity = partition(g, s, opt.Seed)
+	}
 	partTime := time.Since(start)
 
+	limit := opt.StalenessLimit
+	if limit == 0 {
+		limit = DefaultStalenessLimit
+	}
 	sx := &ShardedIndex{
-		n:     n,
-		c:     c,
-		qtol:  qtol,
-		home:  home,
-		local: make([]int, n),
-		parts: make([]*part, s),
+		n:              n,
+		c:              c,
+		qtol:           qtol,
+		home:           home,
+		local:          make([]int, n),
+		parts:          make([]*part, s),
+		g:              g,
+		method:         opt.Reorder,
+		seed:           opt.Seed,
+		workers:        opt.Workers,
+		stalenessLimit: limit,
+		staleness:      make([]int, s),
 	}
 	for i := range sx.parts {
 		sx.parts[i] = &part{}
@@ -225,47 +295,16 @@ func Build(g *graph.Graph, opt Options) (*ShardedIndex, error) {
 		p.nodes = append(p.nodes, u)
 	}
 
-	cutEdges, cutW, totalW := sx.collectCuts(g)
+	cutEdges, cutW, totalW := sx.fillCuts(g, nil)
 
-	// Build shard indexes across a worker pool. With several shards in
-	// flight the pool supplies the parallelism, so each individual build
-	// inverts its factors single-threaded; a 1-shard build hands the full
-	// worker budget to the factor inversion instead.
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	innerWorkers := 1
-	if s == 1 {
-		innerWorkers = workers
+	all := make([]int, s)
+	for si := range all {
+		all[si] = si
 	}
 	tBuild := time.Now()
-	var (
-		wg       sync.WaitGroup
-		sem      = make(chan struct{}, workers)
-		mu       sync.Mutex
-		firstErr error
-		cpu      time.Duration
-	)
-	for si := range sx.parts {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(si int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			t0 := time.Now()
-			err := sx.buildPart(g, si, opt.Reorder, opt.Seed+int64(si), innerWorkers)
-			mu.Lock()
-			cpu += time.Since(t0)
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("shard %d: %w", si, err)
-			}
-			mu.Unlock()
-		}(si)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	cpu, err := sx.buildParts(g, all, opt.Workers)
+	if err != nil {
+		return nil, err
 	}
 	buildTime := time.Since(tBuild)
 
@@ -292,6 +331,47 @@ func Build(g *graph.Graph, opt Options) (*ShardedIndex, error) {
 		Modularity:    modularity,
 	}
 	return sx, nil
+}
+
+// buildParts builds the given shards' indexes across a worker pool and
+// reports the summed per-shard CPU time. With several shards in flight
+// the pool supplies the parallelism, so each individual build inverts
+// its factors single-threaded; a lone shard hands the full worker
+// budget to the factor inversion instead. Build (every shard) and
+// Apply (the dirty set) share this path, which is what keeps an
+// incrementally rebuilt block bit-identical to a from-scratch one.
+func (sx *ShardedIndex) buildParts(g *graph.Graph, shards []int, workers int) (cpu time.Duration, err error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	innerWorkers := 1
+	if len(shards) == 1 {
+		innerWorkers = workers
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, workers)
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, si := range shards {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(si int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			t0 := time.Now()
+			err := sx.buildPart(g, si, sx.method, sx.seed+int64(si), innerWorkers)
+			mu.Lock()
+			cpu += time.Since(t0)
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", si, err)
+			}
+			mu.Unlock()
+		}(si)
+	}
+	wg.Wait()
+	return cpu, firstErr
 }
 
 // partition assigns every node to one of s balanced shards: nodes are
@@ -332,11 +412,19 @@ func partition(g *graph.Graph, s int, seed int64) (home []int, communities int, 
 	return home, res.K, res.Q
 }
 
-// collectCuts fills each part's outgoing cut-edge list (probabilities
-// pre-scaled by (1-c)) and reports cut statistics.
-func (sx *ShardedIndex) collectCuts(g *graph.Graph) (cutEdges int, cutW, totalW float64) {
-	for _, p := range sx.parts {
-		p.cutPtr = make([]int, len(p.nodes)+1)
+// fillCuts recomputes the outgoing cut-edge lists (probabilities
+// pre-scaled by (1-c)) of the shards marked in mask — nil meaning every
+// shard — and reports global cut statistics, which are always re-summed
+// from the graph. Parts outside the mask are never written, so the
+// update path can hand shared (old-epoch) part structs to the new index
+// and patch only the shards whose cuts actually changed.
+func (sx *ShardedIndex) fillCuts(g *graph.Graph, mask []bool) (cutEdges int, cutW, totalW float64) {
+	patched := func(si int) bool { return mask == nil || mask[si] }
+	for si, p := range sx.parts {
+		if patched(si) {
+			p.cuts = nil
+			p.cutPtr = make([]int, len(p.nodes)+1)
+		}
 	}
 	for v := 0; v < sx.n; v++ {
 		sv := sx.home[v]
@@ -346,17 +434,22 @@ func (sx *ShardedIndex) collectCuts(g *graph.Graph) (cutEdges int, cutW, totalW 
 			if sx.home[u] != sv {
 				cutEdges++
 				cutW += w
-				p := sx.parts[sv]
-				p.cuts = append(p.cuts, cutEdge{
-					src:      sx.local[v],
-					dstShard: sx.home[u],
-					dst:      sx.local[u],
-					w:        (1 - sx.c) * w / out,
-				})
+				if patched(sv) {
+					p := sx.parts[sv]
+					p.cuts = append(p.cuts, cutEdge{
+						src:      sx.local[v],
+						dstShard: sx.home[u],
+						dst:      sx.local[u],
+						w:        (1 - sx.c) * w / out,
+					})
+				}
 			}
 		})
 	}
-	for _, p := range sx.parts {
+	for si, p := range sx.parts {
+		if !patched(si) {
+			continue
+		}
 		sort.SliceStable(p.cuts, func(a, b int) bool { return p.cuts[a].src < p.cuts[b].src })
 		for _, e := range p.cuts {
 			p.cutPtr[e.src+1]++
@@ -416,6 +509,10 @@ func (sx *ShardedIndex) buildPart(g *graph.Graph, si int, method reorder.Method,
 	if err != nil {
 		return err
 	}
+	// The block's own ghost graph is never replayed — updates rebuild
+	// dirty blocks from the partition-level snapshot (sx.g) — so keeping
+	// it would pin a second full copy of the adjacency across the parts.
+	ix.ReleaseGraph()
 	p.ix = ix
 	p.sink = hasLeak
 	return nil

@@ -11,6 +11,7 @@ import (
 	"kdash/internal/graph"
 	"kdash/internal/reorder"
 	"kdash/internal/rwr"
+	"kdash/internal/testutil"
 	"kdash/internal/topk"
 )
 
@@ -81,15 +82,13 @@ func trimZeros(rs []topk.Result) []topk.Result {
 	return out
 }
 
-// testGraphs are the shapes the exactness suite sweeps: community-heavy
-// (the favourable case for sharding), scale-free with reciprocation
-// (cycles across shards), and uniformly random (worst-case cut mass).
+// testGraphs are the shapes the exactness suite sweeps — the shared
+// testutil suite: community-heavy (the favourable case for sharding),
+// scale-free with reciprocation (cycles across shards), uniformly
+// random (worst-case cut mass), plus grids, disconnected components
+// and self-loop-heavy graphs (ghost-sink normalisation corners).
 func testGraphs(seed int64) map[string]*graph.Graph {
-	return map[string]*graph.Graph{
-		"planted":   gen.PlantedPartition(120, 4, 0.2, 0.02, seed),
-		"scalefree": gen.DirectedScaleFree(150, 3, 0.3, 0.4, seed),
-		"er":        gen.ErdosRenyi(80, 400, seed),
-	}
+	return testutil.Shapes(seed)
 }
 
 // TestCrossShardExactness is the tentpole acceptance test: on every graph

@@ -1,0 +1,195 @@
+// Package testutil provides the seeded random-graph generators shared
+// by every package's tests, replacing the ad-hoc per-package generators
+// the suite grew organically. Each generator is deterministic in its
+// seed, so any failure reproduces from the seed the test logs.
+//
+// The shapes are chosen to pin down the corners where exactness bugs
+// hide: heavy-tailed degree distributions (deep BFS trees, dense factor
+// columns), grids (long diameters, uniform degrees), disconnected
+// graphs (unreachable mass, zero proximities), and self-loop-heavy
+// graphs (the A_uu != 0 branch of the paper's Definition 1 and ghost
+// sink normalisation in the sharded index).
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kdash/internal/gen"
+	"kdash/internal/graph"
+)
+
+// PowerLaw generates a directed scale-free graph with reciprocated
+// edges: heavy-tailed in-degrees plus cycles, the regime the paper's
+// social/trust datasets live in.
+func PowerLaw(n int, seed int64) *graph.Graph {
+	if n < 8 {
+		n = 8
+	}
+	return gen.DirectedScaleFree(n, 3, 0.3, 0.4, seed)
+}
+
+// Grid generates an undirected rows x cols lattice (4-neighbourhood)
+// with mild deterministic weight variation. Long diameter, uniform
+// degree: the opposite corner from PowerLaw.
+func Grid(rows, cols int) *graph.Graph {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("testutil: Grid needs positive dims, got %dx%d", rows, cols))
+	}
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			w := 1 + 0.1*float64((r+c)%3)
+			if c+1 < cols {
+				mustUndirected(b, id(r, c), id(r, c+1), w)
+			}
+			if r+1 < rows {
+				mustUndirected(b, id(r, c), id(r+1, c), w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Disconnected generates comps mutually unreachable random components
+// (plus, when n does not divide evenly, a few isolated nodes at the
+// end). Queries in one component must rank nothing from the others.
+func Disconnected(n, comps int, seed int64) *graph.Graph {
+	if comps < 1 || n < comps {
+		panic(fmt.Sprintf("testutil: Disconnected needs n >= comps >= 1, got n=%d comps=%d", n, comps))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	size := n / comps
+	for ci := 0; ci < comps; ci++ {
+		base := ci * size
+		// Ring for connectivity, then random chords.
+		for i := 0; i < size; i++ {
+			mustAdd(b, base+i, base+(i+1)%size, 1)
+		}
+		for i := 0; i < 2*size; i++ {
+			u, v := base+rng.Intn(size), base+rng.Intn(size)
+			if u != v {
+				mustAdd(b, u, v, 0.5+rng.Float64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+// SelfLoopHeavy generates a random directed graph where roughly half
+// the nodes carry a self loop, exercising the A_uu != 0 estimation
+// branch and self-transition normalisation.
+func SelfLoopHeavy(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < 4*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			mustAdd(b, u, v, 1)
+		}
+	}
+	for u := 0; u < n; u += 2 {
+		mustAdd(b, u, u, 1+rng.Float64())
+	}
+	return b.Build()
+}
+
+// ErdosRenyi re-exports the uniform generator so test packages need
+// only one import for graph material.
+func ErdosRenyi(n, m int, seed int64) *graph.Graph { return gen.ErdosRenyi(n, m, seed) }
+
+// Clustered generates a community-structured weighted graph, the
+// favourable case for partitioning.
+func Clustered(n, comms int, seed int64) *graph.Graph {
+	return gen.PlantedPartition(n, comms, 0.2, 0.02, seed)
+}
+
+// Shapes returns the named sweep suite: one representative graph per
+// shape, all deterministic in the seed. Exactness suites iterate it so
+// every query surface is exercised on every corner.
+func Shapes(seed int64) map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"powerlaw":     PowerLaw(150, seed),
+		"grid":         Grid(10, 12),
+		"disconnected": Disconnected(120, 3, seed),
+		"selfloops":    SelfLoopHeavy(80, seed),
+		"clustered":    Clustered(120, 4, seed),
+		"er":           ErdosRenyi(80, 400, seed),
+	}
+}
+
+// Random draws a random shape and size from the rng — the generator
+// property tests feed from.
+func Random(rng *rand.Rand) *graph.Graph {
+	switch rng.Intn(5) {
+	case 0:
+		return PowerLaw(20+rng.Intn(120), rng.Int63())
+	case 1:
+		return Grid(2+rng.Intn(8), 2+rng.Intn(10))
+	case 2:
+		return Disconnected(20+rng.Intn(100), 1+rng.Intn(4), rng.Int63())
+	case 3:
+		return SelfLoopHeavy(15+rng.Intn(80), rng.Int63())
+	default:
+		n := 20 + rng.Intn(80)
+		return ErdosRenyi(n, 4*n, rng.Int63())
+	}
+}
+
+// RandomDelta draws a random update batch against g: edge additions
+// (biased towards existing endpoints), removals of existing edges, and
+// occasional node insertions wired into the graph. Always valid —
+// removals are drawn from the current edge set without repeats.
+func RandomDelta(rng *rand.Rand, g *graph.Graph, maxOps int) *graph.Delta {
+	d := g.NewDelta()
+	if maxOps < 1 {
+		maxOps = 1
+	}
+	edges := g.Edges()
+	removed := map[[2]int]bool{}
+	n := func() int { return g.N() + d.AddedNodes() }
+	ops := 1 + rng.Intn(maxOps)
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(10); {
+		case r < 2: // insert a node, usually wired in
+			id := d.AddNode()
+			if rng.Intn(4) > 0 && g.N() > 0 {
+				mustDelta(d.AddEdge(id, rng.Intn(g.N()), 0.5+rng.Float64()))
+				mustDelta(d.AddEdge(rng.Intn(g.N()), id, 0.5+rng.Float64()))
+			}
+		case r < 5 && len(edges) > 0: // remove an existing edge
+			for tries := 0; tries < 8; tries++ {
+				e := edges[rng.Intn(len(edges))]
+				k := [2]int{e.From, e.To}
+				if !removed[k] {
+					removed[k] = true
+					mustDelta(d.RemoveEdge(e.From, e.To))
+					break
+				}
+			}
+		default: // add or reweight an edge
+			mustDelta(d.AddEdge(rng.Intn(n()), rng.Intn(n()), 0.1+rng.Float64()))
+		}
+	}
+	return d
+}
+
+func mustDelta(err error) {
+	if err != nil {
+		panic(err) // generators only produce valid ops
+	}
+}
+
+func mustAdd(b *graph.Builder, u, v int, w float64) {
+	if err := b.AddEdge(u, v, w); err != nil {
+		panic(err)
+	}
+}
+
+func mustUndirected(b *graph.Builder, u, v int, w float64) {
+	if err := b.AddUndirected(u, v, w); err != nil {
+		panic(err)
+	}
+}

@@ -158,6 +158,27 @@ func IsShardedIndexDir(path string) bool {
 	return shard.IsShardedIndexDir(path)
 }
 
+// Delta is an ordered batch of graph mutations (edge additions and
+// removals, node insertions) built against a specific graph. Apply it
+// functionally: Graph.Apply returns a new Graph, Index.Rebuild a new
+// Index (full precompute), and ShardedIndex.Apply a new ShardedIndex
+// that refactorizes only the shards owning changed columns. The
+// originals stay valid, so in-flight queries never observe a
+// half-applied update — swap the pointer when the successor is ready.
+type Delta = graph.Delta
+
+// UpdateStats reports the work one incremental ShardedIndex.Apply
+// performed (shards refactorized, cuts patched, repartitioning).
+type UpdateStats = shard.UpdateStats
+
+// NewDelta starts an empty mutation batch against a graph with n
+// nodes (usually g.NewDelta() instead).
+func NewDelta(n int) *Delta { return graph.NewDelta(n) }
+
+// ErrEdgeNotFound reports removal of an edge that does not exist; test
+// with errors.Is against Apply/Rebuild failures.
+var ErrEdgeNotFound = graph.ErrEdgeNotFound
+
 // IterativeTopK computes the exact top-k answer with the classical
 // power-iteration method (the paper's Equation (1)). It is the oracle
 // K-dash is validated against — far slower, same answer.

@@ -137,3 +137,45 @@ func TestBuildStatsExposed(t *testing.T) {
 		t.Errorf("stats = %+v", st)
 	}
 }
+
+func TestDynamicUpdateFacade(t *testing.T) {
+	g := gen.PlantedPartition(90, 3, 0.2, 0.02, 11)
+	sx, err := BuildShardedIndex(g, ShardOptions{Shards: 3, Reorder: ReorderHybrid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.NewDelta()
+	id := d.AddNode()
+	if err := d.AddEdge(id, 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(7, id, 1); err != nil {
+		t.Fatal(err)
+	}
+	sx2, us, err := sx.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ UpdateStats = us
+	if sx2.N() != 91 || sx2.Epoch() != 1 || us.ShardsRebuilt == 0 {
+		t.Fatalf("n=%d epoch=%d stats=%+v", sx2.N(), sx2.Epoch(), us)
+	}
+	// The updated index agrees with the iterative oracle on the new graph.
+	want, err := IterativeTopK(sx2.Graph(), id, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := sx2.TopK(id, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+			t.Fatalf("rank %d: %v vs oracle %v", i, got[i], want[i])
+		}
+	}
+	// The old epoch still serves the old graph.
+	if sx.N() != 90 {
+		t.Fatalf("old epoch mutated: n=%d", sx.N())
+	}
+}
