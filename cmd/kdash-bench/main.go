@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|batch|updates|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|batch|updates|coldstart|all")
 		queries    = flag.Int("queries", 10, "query nodes averaged per measurement")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		shards     = flag.String("shards", "1,2,4,8", "shard counts for -exp shards")
@@ -189,6 +189,14 @@ func main() {
 		check(err)
 		experiments.WriteUpdateRows(os.Stdout, rows)
 		emit("updates", rows)
+	}
+	if run("coldstart") {
+		any = true
+		section("Extension — cold start: open-to-first-query per load mode (v2 parse vs v3 copy vs v3 mmap)")
+		rows, err := experiments.ColdStart(cfg)
+		check(err)
+		experiments.WriteColdStartRows(os.Stdout, rows)
+		emit("coldstart", rows)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kdash-bench: unknown experiment %q\n", *exp)

@@ -7,6 +7,7 @@
 //	kdash-server -graph edges.tsv -shards 8 -addr :8080
 //	kdash-server -load-index graph.idx -addr :8080
 //	kdash-server -load-index idxdir -addr :8080    # sharded manifest directory
+//	kdash-server -load-index idxdir -mmap          # zero-copy map, lazy shard opens
 //	kdash-server -load-index idxdir -cache 256 -max-batch 512
 //
 // Endpoints (identical for monolithic and sharded indexes):
@@ -15,11 +16,17 @@
 //	POST /topk/batch     {"queries":[{"q":3,"k":5},{"q":9,"k":5,"exclude":[9]}]}
 //	POST /personalized   {"seeds":{"3":1,"80":2},"k":5}
 //	GET  /proximity?q=<node>&u=<node>
-//	GET  /healthz
-//	GET  /statz          build stats, per-shard sizes, query/error counters
+//	POST /update         apply a graph delta, swap to the successor epoch
+//	GET  /healthz        liveness, index shape, current epoch
+//	GET  /statz          build/load stats, per-shard sizes, query/error counters, RSS
 //
-// SIGINT/SIGTERM drain in-flight queries through srv.Shutdown before the
-// process exits, so rolling restarts never cut answers off mid-response.
+// With -mmap, a v3 index is memory-mapped read-only instead of parsed:
+// the server takes traffic milliseconds after exec, shard files are
+// opened lazily as queries reach them, and /statz reports open time,
+// shards opened and resident bytes so the paging behaviour is
+// observable. SIGINT/SIGTERM drain in-flight queries through
+// srv.Shutdown before the process exits, so rolling restarts never cut
+// answers off mid-response.
 package main
 
 import (
@@ -48,6 +55,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker-pool width for the build (0 = all CPUs)")
 		cacheSize = flag.Int("cache", 0, "LRU proximity-vector cache entries (0 = disabled; each entry holds one full vector)")
 		maxBatch  = flag.Int("max-batch", server.DefaultMaxBatch, "largest /topk/batch request accepted")
+		useMmap   = flag.Bool("mmap", false, "memory-map the loaded index (zero-copy, lazy shard opens) instead of parsing it into private memory")
 
 		readTimeout     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout    = flag.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
@@ -55,26 +63,36 @@ func main() {
 	)
 	flag.Parse()
 	var engine server.Engine
+	openMode := "built"
+	tOpen := time.Now()
 	switch {
 	case *loadIdx != "" && kdash.IsShardedIndexDir(*loadIdx):
-		sx, err := kdash.LoadShardedIndex(*loadIdx)
+		// -mmap maps shard files zero-copy AND defers each open to the
+		// first query that solves the shard — the instant-cold-start
+		// configuration; without it the directory is fully parsed into
+		// private memory before the listener comes up.
+		sx, err := kdash.OpenShardedIndex(*loadIdx, kdash.OpenOptions{Mmap: *useMmap, Lazy: *useMmap})
 		if err != nil {
 			log.Fatal(err)
 		}
 		engine = sx
-		log.Printf("loaded sharded index: %d nodes / %d shards", sx.N(), sx.Shards())
-	case *loadIdx != "":
-		f, err := os.Open(*loadIdx)
-		if err != nil {
-			log.Fatal(err)
+		openMode = "parse"
+		if sx.Mapped() { // the realised backing, not the flag: -mmap falls back off Linux
+			openMode = "mmap"
 		}
-		ix, err := kdash.LoadIndex(f)
-		f.Close()
+		log.Printf("loaded sharded index (%s): %d nodes / %d shards in %v",
+			openMode, sx.N(), sx.Shards(), time.Since(tOpen).Round(time.Microsecond))
+	case *loadIdx != "":
+		ix, err := kdash.OpenIndex(*loadIdx, kdash.OpenOptions{Mmap: *useMmap})
 		if err != nil {
 			log.Fatal(err)
 		}
 		engine = ix
-		log.Printf("loaded index: %d nodes", ix.N())
+		openMode = "parse"
+		if ix.Mapped() {
+			openMode = "mmap"
+		}
+		log.Printf("loaded index (%s): %d nodes in %v", openMode, ix.N(), time.Since(tOpen).Round(time.Microsecond))
 	case *graphPath != "":
 		f, err := os.Open(*graphPath)
 		if err != nil {
@@ -113,8 +131,11 @@ func main() {
 		os.Exit(2)
 	}
 	srv := &http.Server{
-		Addr:         *addr,
-		Handler:      server.New(engine, server.WithCache(*cacheSize), server.WithMaxBatch(*maxBatch)),
+		Addr: *addr,
+		Handler: server.New(engine,
+			server.WithCache(*cacheSize),
+			server.WithMaxBatch(*maxBatch),
+			server.WithOpenInfo(time.Since(tOpen), openMode)),
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 	}

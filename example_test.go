@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"kdash"
 )
@@ -91,4 +93,187 @@ func ExampleIndex_Save() {
 	fmt.Printf("top node: %d\n", results[0].Node)
 	// Output:
 	// top node: 0
+}
+
+// ExampleOpenIndex saves an index to a file and reopens it
+// memory-mapped: the arrays are served straight from the read-only
+// mapping (zero-copy on supported platforms, private copy elsewhere),
+// so the open costs milliseconds however large the index is. Close
+// releases the mapping once the index is retired.
+func ExampleOpenIndex() {
+	b := kdash.NewBuilder(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ix, err := kdash.BuildIndex(b.Build(), kdash.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "kdash-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ring.idx")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ix.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	mapped, err := kdash.OpenIndex(path, kdash.OpenOptions{Mmap: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mapped.Close()
+	copied, err := kdash.OpenIndex(path, kdash.OpenOptions{}) // private copy, checksums verified
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _, err := mapped.TopK(0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, _, err := copied.TopK(0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("answers agree: %t\n", a[0] == c[0] && a[1] == c[1])
+	fmt.Printf("top node: %d\n", a[0].Node)
+	// Output:
+	// answers agree: true
+	// top node: 0
+}
+
+// ExampleOpenShardedIndex round-trips a sharded index through its
+// directory form and reopens it lazily: shard files are only opened
+// (and, where supported, memory-mapped) when a query first solves the
+// shard — the instant-cold-start configuration behind the server's
+// -mmap flag.
+func ExampleOpenShardedIndex() {
+	b := kdash.NewBuilder(6)
+	for _, e := range [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sx, err := kdash.BuildShardedIndex(b.Build(), kdash.ShardOptions{Shards: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "kdash-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	idxDir := filepath.Join(dir, "idx")
+	if err := sx.Save(idxDir); err != nil {
+		log.Fatal(err)
+	}
+
+	opened, err := kdash.OpenShardedIndex(idxDir, kdash.OpenOptions{Mmap: true, Lazy: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer opened.Close()
+	want, _, err := sx.TopK(0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, _, err := opened.TopK(0, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bit-identical: %t\n", want[0] == got[0] && want[1] == got[1])
+	// Output:
+	// bit-identical: true
+}
+
+// ExampleIndex_TopKBatch answers a block of queries through one shared
+// workspace; answers are identical to issuing each query alone.
+func ExampleIndex_TopKBatch() {
+	b := kdash.NewBuilder(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ix, err := kdash.BuildIndex(b.Build(), kdash.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	batches, _, err := ix.TopKBatch([]int{0, 2, 4}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, results := range batches {
+		fmt.Printf("query %d -> top node %d\n", i, results[0].Node)
+	}
+	// Output:
+	// query 0 -> top node 0
+	// query 1 -> top node 2
+	// query 2 -> top node 4
+}
+
+// ExampleShardedIndex_Apply applies a graph delta functionally — the
+// old epoch stays valid while the successor refactorizes only the
+// shards owning changed columns — then round-trips the successor
+// through Save and a lazy reopen.
+func ExampleShardedIndex_Apply() {
+	b := kdash.NewBuilder(4)
+	for _, e := range [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 2}} {
+		if err := b.AddEdge(e[0], e[1], 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sx, err := kdash.BuildShardedIndex(b.Build(), kdash.ShardOptions{Shards: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d := sx.Graph().NewDelta()
+	if err := d.AddEdge(1, 2, 2); err != nil { // bridge the components
+		log.Fatal(err)
+	}
+	next, stats, err := sx.Apply(d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("epoch %d, shards rebuilt: %d\n", next.Epoch(), stats.ShardsRebuilt)
+
+	dir, err := os.MkdirTemp("", "kdash-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	idxDir := filepath.Join(dir, "idx")
+	if err := next.Save(idxDir); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := kdash.OpenShardedIndex(idxDir, kdash.OpenOptions{Mmap: true, Lazy: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reloaded.Close()
+	want, _, err := next.TopK(1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got, _, err := reloaded.TopK(1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := len(want) == len(got)
+	for i := range got {
+		same = same && want[i] == got[i]
+	}
+	fmt.Printf("epoch survives reload: %d, answers bit-identical: %t\n", reloaded.Epoch(), same)
+	// Output:
+	// epoch 1, shards rebuilt: 1
+	// epoch survives reload: 1, answers bit-identical: true
 }

@@ -7,6 +7,15 @@
 // queries with the Section 4.3/4.4 search: a breadth-first tree from the
 // query node, O(1) incremental upper-bound estimation (Definitions 1–2),
 // and safe early termination (Lemmas 1–2, Theorem 2).
+//
+// An Index is immutable after construction and safe for concurrent
+// queries; all per-query scratch lives in pooled workspaces, so the
+// steady-state query path allocates only its O(k) result set and never
+// writes a factor array. That write-free contract is what lets Save lay
+// the arrays out as page-aligned sections (serialize_v3.go) and
+// OpenIndexFile serve queries straight out of a read-only file mapping.
+// See docs/ARCHITECTURE.md for the layer map, the immutability and
+// pooling contracts, and the on-disk format specifications.
 package core
 
 import (
@@ -17,6 +26,7 @@ import (
 
 	"kdash/internal/graph"
 	"kdash/internal/lu"
+	"kdash/internal/mmapio"
 	"kdash/internal/reorder"
 	"kdash/internal/rwr"
 	"kdash/internal/sparse"
@@ -95,6 +105,13 @@ type Index struct {
 	srcGraph *graph.Graph
 	opts     BuildOptions
 	epoch    int
+
+	// backing is the sectioned container a loaded v3 index's arrays
+	// live in — a read-only file mapping for OpenIndexFile in an mmap
+	// mode, a private buffer otherwise. nil for built indexes and legacy
+	// loads. Mapped arrays are immutable at the MMU level; Close releases
+	// the mapping.
+	backing *mmapio.File
 }
 
 // inverseFactors returns the index's factors as an lu.Inverse, built once.

@@ -13,10 +13,10 @@ import (
 	"kdash/internal/reorder"
 )
 
-// fuzzIndexBytes is a small valid serialised index, built once: the
-// seeds the mutator starts from are the valid stream plus truncations
-// and targeted corruptions of it.
-func fuzzIndexBytes(f *testing.F) []byte {
+// fuzzIndexBytes is a small valid serialised index, built once and
+// written through the given serializer: the seeds the mutator starts
+// from are the valid bytes plus truncations and targeted corruptions.
+func fuzzIndexBytes(f *testing.F, save func(*Index, *bytes.Buffer) error) []byte {
 	f.Helper()
 	g := gen.ErdosRenyi(24, 90, 7)
 	ix, err := BuildIndex(g, BuildOptions{Reorder: reorder.Hybrid, Seed: 7})
@@ -24,14 +24,14 @@ func fuzzIndexBytes(f *testing.F) []byte {
 		f.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := ix.Save(&buf); err != nil {
+	if err := save(ix, &buf); err != nil {
 		f.Fatal(err)
 	}
 	return buf.Bytes()
 }
 
 func FuzzLoadIndex(f *testing.F) {
-	valid := fuzzIndexBytes(f)
+	valid := fuzzIndexBytes(f, func(ix *Index, buf *bytes.Buffer) error { return ix.SaveLegacy(buf) })
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2])  // truncated mid-array
 	f.Add(valid[:9])             // magic + version only
@@ -43,17 +43,43 @@ func FuzzLoadIndex(f *testing.F) {
 	bomb = append(bomb, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
 	f.Add(bomb)
 
-	f.Fuzz(func(t *testing.T, data []byte) {
-		ix, err := LoadIndex(bytes.NewReader(data))
-		if err != nil {
-			return // rejection is the expected outcome for corrupt input
-		}
-		// The rare accepted input must yield a queryable index.
-		if ix.N() <= 0 {
-			t.Fatalf("accepted index with n=%d", ix.N())
-		}
-		if _, _, qerr := ix.TopK(0, 3); qerr != nil {
-			t.Fatalf("accepted index cannot answer: %v", qerr)
-		}
-	})
+	f.Fuzz(fuzzLoadOne)
+}
+
+// FuzzLoadIndexV3 drives the sectioned-container load path: header and
+// table corruption is mmapio's to reject, section shape and content
+// corruption is indexFromContainer's — either way the contract is the
+// same as the legacy target's (error, no panic, no unbounded commit).
+// Run with `go test -fuzz=FuzzLoadIndexV3 ./internal/core`.
+func FuzzLoadIndexV3(f *testing.F) {
+	valid := fuzzIndexBytes(f, func(ix *Index, buf *bytes.Buffer) error { return ix.Save(buf) })
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-section
+	f.Add(valid[:40])           // header + part of the table
+	f.Add(valid[:8])            // magic only
+	// Flip one byte inside the first data section (checksum mismatch).
+	flip := append([]byte{}, valid...)
+	flip[4096] ^= 0xff
+	f.Add(flip)
+	// Flip a table byte (table checksum mismatch).
+	flipTable := append([]byte{}, valid...)
+	flipTable[32] ^= 0xff
+	f.Add(flipTable)
+
+	f.Fuzz(fuzzLoadOne)
+}
+
+// fuzzLoadOne is the shared oracle of both loader fuzz targets.
+func fuzzLoadOne(t *testing.T, data []byte) {
+	ix, err := LoadIndex(bytes.NewReader(data))
+	if err != nil {
+		return // rejection is the expected outcome for corrupt input
+	}
+	// The rare accepted input must yield a queryable index.
+	if ix.N() <= 0 {
+		t.Fatalf("accepted index with n=%d", ix.N())
+	}
+	if _, _, qerr := ix.TopK(0, 3); qerr != nil {
+		t.Fatalf("accepted index cannot answer: %v", qerr)
+	}
 }

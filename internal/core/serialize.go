@@ -1,11 +1,11 @@
 package core
 
-// Index serialization. Precomputation (reordering + factorization +
-// inversion) is the expensive step of K-dash, so a production deployment
-// builds the index once and ships it to query servers. The format is a
-// versioned little-endian binary layout of the index's arrays; it is not
-// intended to be portable across incompatible versions (the version byte
-// guards that).
+// Legacy (v1) index serialization: a sequential little-endian stream in
+// which every integer — array lengths and elements alike — is one
+// uint64, read back value by value. It is superseded by the sectioned v3
+// layout in serialize_v3.go, which Save now writes; the v1 writer and
+// reader are retained so old index files keep loading and compatibility
+// tests can still produce them.
 
 import (
 	"bufio"
@@ -14,20 +14,27 @@ import (
 	"io"
 	"math"
 
+	"kdash/internal/mmapio"
 	"kdash/internal/reorder"
 	"kdash/internal/sparse"
 )
 
-// serialMagic identifies a K-dash index stream.
+// serialMagic identifies a legacy (v1) K-dash index stream.
 const serialMagic = "KDASHIX"
 
-// serialVersion is bumped whenever the layout changes.
+// serialVersion is the legacy stream version. The sectioned container
+// format that replaced it identifies itself by mmapio.Magic instead of
+// this header and calls itself v3 (matching the sharded manifest
+// version that introduced it); there is no v2 core stream.
 const serialVersion = 1
 
-// Save writes the index in binary form. The BuildStats timings are not
-// persisted (they describe the building machine, not the index); the
-// sparsity counters are.
-func (ix *Index) Save(w io.Writer) error {
+// SaveLegacy writes the index as a v1 stream. Deprecated in favour of
+// Save (the sectioned v3 layout LoadIndex and OpenIndexFile can
+// memory-map); it is retained so compatibility tests and tooling can
+// produce v1 files. The BuildStats timings are not persisted (they
+// describe the building machine, not the index); the sparsity counters
+// are.
+func (ix *Index) SaveLegacy(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(serialMagic); err != nil {
 		return fmt.Errorf("core: writing index header: %w", err)
@@ -115,9 +122,32 @@ func clipSlice[T any](s []T) []T {
 	return append(make([]T, 0, len(s)), s...)
 }
 
-// LoadIndex reads an index previously written by Save.
+// LoadIndex reads an index previously written by Save (the sectioned v3
+// layout) or SaveLegacy (the v1 stream); the leading magic selects the
+// parser. Reading from a stream always materialises the index in private
+// memory — use OpenIndexFile to memory-map a v3 file instead.
 func LoadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
+	head, err := br.Peek(8)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading index header: %w", err)
+	}
+	if string(head) == mmapio.Magic {
+		blob, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading index: %w", err)
+		}
+		f, err := mmapio.FromBytes(blob)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		return indexFromContainer(f, true)
+	}
+	return loadLegacy(br)
+}
+
+// loadLegacy parses a v1 stream.
+func loadLegacy(br *bufio.Reader) (*Index, error) {
 	head := make([]byte, len(serialMagic)+1)
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("core: reading index header: %w", err)

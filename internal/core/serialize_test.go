@@ -75,7 +75,7 @@ func TestLoadRejectsWrongVersion(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := ix.Save(&buf); err != nil {
+	if err := ix.SaveLegacy(&buf); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
@@ -92,7 +92,7 @@ func TestLoadRejectsCorruptPermutation(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := ix.Save(&buf); err != nil {
+	if err := ix.SaveLegacy(&buf); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
@@ -112,7 +112,7 @@ func TestLoadRejectsCorruptRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := ix.Save(&buf); err != nil {
+	if err := ix.SaveLegacy(&buf); err != nil {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()

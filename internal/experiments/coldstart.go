@@ -1,0 +1,206 @@
+package experiments
+
+// ColdStart is the persistence extension experiment: on the same
+// community-structured benchmark graph the shard experiment uses, it
+// measures open-to-first-query latency and memory growth for the three
+// ways a saved 8-shard index can come up:
+//
+//   - v2-parse: the legacy directory (v2 manifest, v1 stream shards),
+//     deserialized value by value into private memory — the cold-start
+//     tax the v3 format removes;
+//   - v3-copy:  the sectioned directory read into private memory with
+//     every checksum verified — the portable fallback mode;
+//   - v3-mmap:  the sectioned directory memory-mapped read-only with
+//     lazy shard opens — open time is O(sections of the shards the
+//     first query touches), resident growth only the pages actually
+//     faulted in.
+//
+// Every mode must answer the query battery bit-identically to the
+// built index (the Exact column), extending the differential harness's
+// contract across the on-disk boundary.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"slices"
+	"time"
+
+	"kdash/internal/gen"
+	"kdash/internal/mmapio"
+	"kdash/internal/procmem"
+	"kdash/internal/reorder"
+	"kdash/internal/shard"
+	"kdash/internal/topk"
+)
+
+// ColdStartRow is one load-mode measurement.
+type ColdStartRow struct {
+	Mode             string        // v2-parse | v3-copy | v3-mmap | build
+	OpenTime         time.Duration // load/open call alone
+	FirstQueryTime   time.Duration // first TopK after the open
+	OpenToFirstQuery time.Duration // the number that gates rolling restarts
+	SpeedupVsParse   float64       // v2-parse's OpenToFirstQuery / this row's
+	RSSDeltaBytes    int64         // OS resident-set growth across open+first query (0 off Linux)
+	HeapDeltaBytes   int64         // Go heap growth across open+first query
+	ShardsOpened     int           // shard files opened after the battery (of defaultUpdateShards)
+	Exact            bool          // battery bit-identical to the built index
+}
+
+// ColdStart builds the benchmark graph at cfg.ShardGraphN nodes and
+// defaultUpdateShards shards, saves it in both directory formats and
+// measures each load mode; see the package comment above.
+func ColdStart(cfg Config) ([]ColdStartRow, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.ShardGraphN
+	if n == 0 {
+		n = defaultShardGraphN
+	}
+	communities := n / 100
+	if communities < 4 {
+		communities = 4
+	}
+	g := gen.CommunityOverlay(n, 3, communities, 0.995, cfg.Seed)
+
+	tBuild := time.Now()
+	built, err := shard.Build(g, shard.Options{Shards: defaultUpdateShards, Reorder: reorder.Hybrid, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: coldstart build: %w", err)
+	}
+	buildTime := time.Since(tBuild)
+
+	dir, err := os.MkdirTemp("", "kdash-coldstart-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	legacyDir := dir + "/v2"
+	v3Dir := dir + "/v3"
+	if err := built.SaveLegacy(legacyDir); err != nil {
+		return nil, fmt.Errorf("experiments: saving legacy dir: %w", err)
+	}
+	if err := built.Save(v3Dir); err != nil {
+		return nil, fmt.Errorf("experiments: saving v3 dir: %w", err)
+	}
+
+	queries := cfg.queryNodes(n)
+	baseline := make([][]topk.Result, len(queries))
+	for i, q := range queries {
+		baseline[i], _, err = built.TopK(q, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	modes := []struct {
+		name string
+		open func() (*shard.ShardedIndex, error)
+	}{
+		{"v2-parse", func() (*shard.ShardedIndex, error) { return shard.Load(legacyDir) }},
+		{"v3-copy", func() (*shard.ShardedIndex, error) {
+			return shard.Open(v3Dir, shard.LoadOptions{Mode: mmapio.ModeCopy})
+		}},
+		{"v3-mmap", func() (*shard.ShardedIndex, error) {
+			return shard.Open(v3Dir, shard.LoadOptions{Mode: mmapio.ModeAuto, Lazy: true})
+		}},
+	}
+	rows := make([]ColdStartRow, 0, len(modes)+1)
+	for _, m := range modes {
+		row, err := measureColdStart(m.name, m.open, queries, cfg.K, baseline)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	// Speedups are relative to the legacy parse (the first row).
+	parse := rows[0].OpenToFirstQuery
+	for i := range rows {
+		rows[i].SpeedupVsParse = ratio(parse, rows[i].OpenToFirstQuery)
+	}
+	rows = append(rows, ColdStartRow{Mode: "build", OpenTime: buildTime, OpenToFirstQuery: buildTime, SpeedupVsParse: ratio(parse, buildTime), Exact: true})
+	return rows, nil
+}
+
+// measureColdStart times one load mode and validates its battery
+// against the baseline bit-for-bit.
+func measureColdStart(name string, open func() (*shard.ShardedIndex, error), queries []int, k int, baseline [][]topk.Result) (ColdStartRow, error) {
+	row := ColdStartRow{Mode: name}
+	// Settle the heap and return freed spans to the OS so the RSS delta
+	// measures this mode, not the previous one's garbage.
+	debug.FreeOSMemory()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	rss0 := procmem.Resident()
+
+	t0 := time.Now()
+	sx, err := open()
+	if err != nil {
+		return row, fmt.Errorf("experiments: %s open: %w", name, err)
+	}
+	row.OpenTime = time.Since(t0)
+	t1 := time.Now()
+	first, _, err := sx.TopK(queries[0], k)
+	if err != nil {
+		return row, fmt.Errorf("experiments: %s first query: %w", name, err)
+	}
+	row.FirstQueryTime = time.Since(t1)
+	row.OpenToFirstQuery = time.Since(t0)
+	rss1 := procmem.Resident()
+	runtime.ReadMemStats(&ms1)
+	if rss1 > rss0 {
+		row.RSSDeltaBytes = rss1 - rss0
+	}
+	if ms1.HeapAlloc > ms0.HeapAlloc {
+		row.HeapDeltaBytes = int64(ms1.HeapAlloc - ms0.HeapAlloc)
+	}
+
+	row.Exact = sameResults(first, baseline[0])
+	for i, q := range queries[1:] {
+		got, _, err := sx.TopK(q, k)
+		if err != nil {
+			return row, err
+		}
+		if !sameResults(got, baseline[i+1]) {
+			row.Exact = false
+		}
+	}
+	if opened, ok := sx.Statz()["shardsOpened"].(int); ok {
+		row.ShardsOpened = opened
+	}
+	if err := sx.Close(); err != nil {
+		return row, err
+	}
+	return row, nil
+}
+
+// sameResults reports bit-identical answer lists (topk.Result is
+// comparable, so slices.Equal is the whole check).
+func sameResults(a, b []topk.Result) bool { return slices.Equal(a, b) }
+
+// WriteColdStartRows prints the cold-start table.
+func WriteColdStartRows(w io.Writer, rows []ColdStartRow) {
+	fmt.Fprintf(w, "%-10s %12s %12s %14s %10s %12s %12s %7s %6s\n",
+		"mode", "open", "first-query", "open-to-query", "speedup", "rss-delta", "heap-delta", "opened", "exact")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12v %12v %14v %9.1fx %12s %12s %7d %6t\n",
+			r.Mode, r.OpenTime.Round(time.Microsecond), r.FirstQueryTime.Round(time.Microsecond),
+			r.OpenToFirstQuery.Round(time.Microsecond), r.SpeedupVsParse,
+			fmtBytes(r.RSSDeltaBytes), fmtBytes(r.HeapDeltaBytes), r.ShardsOpened, r.Exact)
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestColdStartShape runs the cold-start experiment on a small graph
+// and checks its structural invariants: one row per load mode plus the
+// build baseline, every mode bit-identical to the built index, and the
+// mmap mode no slower to first query than the legacy parse.
+func TestColdStartShape(t *testing.T) {
+	rows, err := ColdStart(Config{Queries: 4, Seed: 2, ShardGraphN: 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	wantModes := []string{"v2-parse", "v3-copy", "v3-mmap", "build"}
+	for i, r := range rows {
+		if r.Mode != wantModes[i] {
+			t.Fatalf("row %d mode %q, want %q", i, r.Mode, wantModes[i])
+		}
+		if !r.Exact {
+			t.Fatalf("mode %s answered differently from the built index", r.Mode)
+		}
+		if r.OpenToFirstQuery <= 0 {
+			t.Fatalf("mode %s reports non-positive open-to-first-query", r.Mode)
+		}
+	}
+	parse, mmap := rows[0], rows[2]
+	if mmap.OpenToFirstQuery > parse.OpenToFirstQuery {
+		t.Fatalf("mmap open-to-first-query %v slower than parse %v", mmap.OpenToFirstQuery, parse.OpenToFirstQuery)
+	}
+	if parse.SpeedupVsParse != 1.0 {
+		t.Fatalf("parse row speedup = %v, want 1.0", parse.SpeedupVsParse)
+	}
+
+	var sb strings.Builder
+	WriteColdStartRows(&sb, rows)
+	out := sb.String()
+	for _, mode := range wantModes {
+		if !strings.Contains(out, mode) {
+			t.Fatalf("table output missing mode %s:\n%s", mode, out)
+		}
+	}
+}

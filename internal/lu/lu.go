@@ -13,6 +13,14 @@
 // number of floating-point operations, not n^2. The triangular inverses
 // are computed column-by-column the same way (solving L x = e_j and
 // U x = e_j), which realises exactly the recurrences (4)–(5).
+//
+// Factor arrays are read-only once built. Every solver in this package
+// (Inverse.SolveBatch, SparseSolver) writes exclusively into its own
+// recycled workspaces — a contract with teeth: a loaded index's factor
+// arrays may alias a read-only file mapping (internal/mmapio), where a
+// write is a segfault, not a bug report. Derived structures built after
+// load (the lazily transposed U^{-1} of Inverse.UinvByColumn) live in
+// fresh private memory and are immutable once published.
 package lu
 
 import (

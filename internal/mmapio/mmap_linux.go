@@ -1,0 +1,40 @@
+//go:build linux
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates ModeMmap; only the Linux build maps files.
+const mmapSupported = true
+
+// openMmap maps path read-only. PROT_READ makes every write through a
+// section slice fault, which is the enforcement mechanism behind the
+// package's mutation discipline.
+func openMmap(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: opening %s: %w", path, err)
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: stat %s: %w", path, err)
+	}
+	size := fi.Size()
+	if size <= 0 || size > 1<<46 {
+		return nil, fmt.Errorf("mmapio: %s has unmappable size %d", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: mapping %s: %w", path, err)
+	}
+	mf, err := newMapped(data, func() error { return syscall.Munmap(data) })
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: %s: %w", path, err)
+	}
+	return mf, nil
+}

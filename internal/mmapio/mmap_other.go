@@ -1,0 +1,15 @@
+//go:build !linux
+
+package mmapio
+
+import "fmt"
+
+// mmapSupported gates ModeMmap; non-Linux builds always copy, so the
+// format stays fully portable (ModeAuto silently selects ModeCopy).
+const mmapSupported = false
+
+// openMmap is unreachable behind the mmapSupported gate but keeps the
+// package compiling on every platform.
+func openMmap(path string) (*File, error) {
+	return nil, fmt.Errorf("mmapio: mmap unsupported on this platform")
+}

@@ -1,0 +1,28 @@
+//go:build linux
+
+package procmem
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// resident parses /proc/self/statm, whose second field is the resident
+// set in pages. Reading it costs one small pread — cheap enough for a
+// /statz handler.
+func resident() int64 {
+	data, err := os.ReadFile("/proc/self/statm")
+	if err != nil {
+		return 0
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) < 2 {
+		return 0
+	}
+	pages, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return pages * int64(os.Getpagesize())
+}

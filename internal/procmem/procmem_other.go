@@ -1,0 +1,7 @@
+//go:build !linux
+
+package procmem
+
+// resident has no portable source off Linux; 0 signals "unknown" and
+// consumers fall back to heap metrics.
+func resident() int64 { return 0 }

@@ -9,6 +9,15 @@
 // failures precisely: malformed input is 400, engine failures and
 // recovered panics are 500, and both are counted separately in /statz so
 // operators can tell client noise from server trouble.
+//
+// /statz is the single observability surface: query/error/panic
+// counters, per-query work, update and cache statistics, how the index
+// was brought up (WithOpenInfo: open wall clock and backing mode), the
+// OS resident set, and whatever the engine itself exposes via Statz —
+// for a memory-mapped sharded index that includes which shard files
+// traffic has actually opened. The field-by-field reference lives in
+// README.md's Operations section; docs/ARCHITECTURE.md covers the
+// epoch-swap contract POST /update relies on.
 package server
 
 import (
@@ -22,6 +31,7 @@ import (
 	"time"
 
 	"kdash/internal/core"
+	"kdash/internal/procmem"
 	"kdash/internal/topk"
 )
 
@@ -84,6 +94,17 @@ func WithMaxBatch(n int) Option {
 	}
 }
 
+// WithOpenInfo records how the serving index was brought up — wall
+// clock of the build or load, and the backing mode ("built", "parse",
+// "mmap", "copy") — for the /statz "load" block, so operators can see
+// cold-start cost and paging mode without scraping process logs.
+func WithOpenInfo(d time.Duration, mode string) Option {
+	return func(h *Handler) {
+		h.openTime = d
+		h.openMode = mode
+	}
+}
+
 // engineState is one immutable epoch of the serving engine: the engine
 // plus its optional capabilities, resolved once per swap. Every request
 // loads the pointer exactly once and runs entirely against that
@@ -105,6 +126,8 @@ type Handler struct {
 	start    time.Time
 	maxBatch int
 	cache    *vectorCache // nil: caching disabled
+	openTime time.Duration
+	openMode string // how the index was brought up (WithOpenInfo)
 
 	// Cumulative counters, expvar-backed so they are atomic and cheap on
 	// the hot path. They are per-handler (not globally published): tests
@@ -453,6 +476,13 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 	st := h.snap()
 	doc := map[string]interface{}{
 		"uptimeSeconds": time.Since(h.start).Seconds(),
+		"memory": map[string]int64{
+			// rssBytes is the OS-reported resident set (0 where
+			// unsupported): with a memory-mapped index it tracks the pages
+			// queries have actually faulted in, which heap metrics cannot
+			// see.
+			"rssBytes": residentBytes(),
+		},
 		"queries": map[string]int64{
 			"topk":         h.qTopK.Value(),
 			"personalized": h.qPers.Value(),
@@ -478,6 +508,12 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 			"nodesAdded":    h.updNodes.Value(),
 			"unsupported":   h.updUnsupported.Value(),
 		},
+	}
+	if h.openMode != "" {
+		doc["load"] = map[string]interface{}{
+			"openSeconds": h.openTime.Seconds(),
+			"mode":        h.openMode,
+		}
 	}
 	if h.cache != nil {
 		doc["cache"] = map[string]int64{
@@ -546,6 +582,9 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 		return
 	}
 }
+
+// residentBytes is the OS resident set (0 where unsupported).
+func residentBytes() int64 { return procmem.Resident() }
 
 func httpError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")

@@ -5,6 +5,7 @@ import (
 	"math"
 	"net/http"
 	"testing"
+	"time"
 
 	"kdash/internal/gen"
 	"kdash/internal/reorder"
@@ -140,5 +141,57 @@ func TestStatzEndpoint(t *testing.T) {
 	}
 	if respM.Index.Kind != "monolithic" {
 		t.Errorf("monolithic /statz kind = %q", respM.Index.Kind)
+	}
+}
+
+// TestStatzLoadAndMemoryFields checks the operations fields added for
+// the mmap load path: the WithOpenInfo block, the resident-set gauge
+// and the sharded engine's opened-shard accounting.
+func TestStatzLoadAndMemoryFields(t *testing.T) {
+	g := gen.PlantedPartition(120, 4, 0.2, 0.01, 1)
+	sx, err := shard.Build(g, shard.Options{Shards: 4, Reorder: reorder.Hybrid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(sx, WithOpenInfo(1500*time.Millisecond, "mmap"))
+	get(t, h, "/topk?q=7&k=5")
+	rec, _ := get(t, h, "/statz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Memory struct {
+			RSSBytes int64 `json:"rssBytes"`
+		} `json:"memory"`
+		Load struct {
+			OpenSeconds float64 `json:"openSeconds"`
+			Mode        string  `json:"mode"`
+		} `json:"load"`
+		Index struct {
+			Shards       int `json:"shards"`
+			ShardsOpened int `json:"shardsOpened"`
+			PerShard     []struct {
+				Opened     bool `json:"opened"`
+				NNZInverse int  `json:"nnzInverse"`
+			} `json:"perShard"`
+		} `json:"index"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad /statz JSON: %v (%s)", err, rec.Body.String())
+	}
+	if resp.Load.Mode != "mmap" || resp.Load.OpenSeconds != 1.5 {
+		t.Errorf("load block = %+v, want mode=mmap openSeconds=1.5", resp.Load)
+	}
+	if resp.Memory.RSSBytes < 0 {
+		t.Errorf("rssBytes = %d, want >= 0", resp.Memory.RSSBytes)
+	}
+	// A built (non-lazy) index reports every shard open with real nnz.
+	if resp.Index.ShardsOpened != resp.Index.Shards {
+		t.Errorf("built index reports %d/%d shards opened", resp.Index.ShardsOpened, resp.Index.Shards)
+	}
+	for i, s := range resp.Index.PerShard {
+		if !s.Opened || s.NNZInverse == 0 {
+			t.Errorf("shard %d: opened=%t nnz=%d, want opened with nonzero nnz", i, s.Opened, s.NNZInverse)
+		}
 	}
 }

@@ -146,7 +146,7 @@ func (sx *ShardedIndex) pushBatch(seeds []map[int]float64) ([][][]float64, Batch
 			}
 		}
 		if solvers[best] == nil {
-			solvers[best] = p.ix.NewBatchSolver()
+			solvers[best] = p.index().NewBatchSolver() // first solve maps a lazy shard
 		}
 		ys, sups, err := solvers[best].SolveOn(rhs)
 		if err != nil {

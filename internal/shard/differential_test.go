@@ -21,9 +21,11 @@ package shard
 import (
 	"math"
 	"math/rand"
+	"path/filepath"
 	"testing"
 
 	"kdash/internal/core"
+	"kdash/internal/mmapio"
 	"kdash/internal/reorder"
 	"kdash/internal/rwr"
 	"kdash/internal/testutil"
@@ -228,6 +230,60 @@ func TestDifferentialMonolithicRebuild(t *testing.T) {
 			if !sameAnswerSet(got, trimZeros(oracle), scoreTol) {
 				t.Fatalf("seed %d q=%d: got %v, oracle %v", seed, q, got, trimZeros(oracle))
 			}
+		}
+	}
+}
+
+// TestDifferentialLoadModes extends the harness across the on-disk
+// boundary: after a randomized update chain the index is saved in both
+// directory generations and reloaded through every load path — legacy
+// v2 parse, v3 copy, v3 mmap with lazy shard opens — and each reload
+// must pass the same two-oracle cross-check (bit-identical to a pinned
+// from-scratch rebuild, 1e-9 vs power iteration) as the in-memory
+// index that produced the files.
+func TestDifferentialLoadModes(t *testing.T) {
+	const seed = int64(9)
+	rng := rand.New(rand.NewSource(seed))
+	g := testutil.Clustered(220, 4, seed)
+	sx, err := Build(g, Options{Shards: 4, Reorder: reorder.Hybrid, Seed: seed, StalenessLimit: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		d := testutil.RandomDelta(rng, sx.Graph(), 6)
+		next, _, err := sx.Apply(d)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		sx = next
+	}
+	dir := t.TempDir()
+	legacyDir := filepath.Join(dir, "v2")
+	v3Dir := filepath.Join(dir, "v3")
+	if err := sx.SaveLegacy(legacyDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sx.Save(v3Dir); err != nil {
+		t.Fatal(err)
+	}
+	loads := []struct {
+		label string
+		open  func() (*ShardedIndex, error)
+	}{
+		{"v2-load", func() (*ShardedIndex, error) { return Load(legacyDir) }},
+		{"v3-copy", func() (*ShardedIndex, error) { return Open(v3Dir, LoadOptions{Mode: mmapio.ModeCopy}) }},
+		{"v3-mmap", func() (*ShardedIndex, error) { return Open(v3Dir, LoadOptions{Lazy: true}) }},
+	}
+	for _, lc := range loads {
+		loaded, err := lc.open()
+		if err != nil {
+			t.Fatalf("%s: %v", lc.label, err)
+		}
+		// A fresh rng per mode keeps the query draw identical across
+		// modes, so all three are checked on the same battery.
+		diffCheck(t, rand.New(rand.NewSource(seed+100)), loaded, seed, 4)
+		if err := loaded.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", lc.label, err)
 		}
 	}
 }

@@ -2,20 +2,34 @@ package shard
 
 // Sharded-index persistence. A sharded index is saved as a *directory*:
 // one binary core-index file per shard plus a JSON manifest tying them
-// together, NoKV-style — the manifest is the unit a deployment ships
-// around, and individual shard files can be fetched or memory-mapped
-// independently by region.
+// together — the manifest is the unit a deployment ships around, and
+// individual shard files are fetched, opened and memory-mapped
+// independently.
 //
 //	indexdir/
 //	  manifest.json      version, c, node/shard counts, file names, stats
+//	  graph.tsv          graph snapshot (v2+) — what makes the index updatable
 //	  assignment.bin     n × uint32 LE: node -> shard
 //	  cuts.bin           per-shard outgoing cut edges (binary, see below)
-//	  shard-0000.idx     core.Index.Save format, one per shard
+//	  shard-0000.idx     core.Index.Save format (v3: mmapio container), one per shard
 //	  ...
+//
+// Open is the general entry point: LoadOptions select private-copy vs
+// memory-mapped backing and eager vs lazy shard opens. Lazy opens read
+// only the manifest, assignment and cut lists up front — O(n) bytes,
+// no factor data — and defer each shard file (and the graph snapshot)
+// to first use, so a 64-shard index answers a query against shard 3
+// before shard 60's file is ever touched. Load is the conservative
+// eager/copy wrapper. See docs/ARCHITECTURE.md for the byte-level
+// format specs (manifest v1/v2/v3, cuts.bin, the sectioned core
+// layout).
 //
 // Local ids are not persisted: both writer and reader assign them by
 // ascending global id within each shard, so the assignment array fully
-// determines the mapping.
+// determines the mapping. The ghost-sink flag is not persisted either —
+// a shard has a sink exactly when it has outgoing cut edges, so the cut
+// lists determine it before any shard file is opened (the open
+// validates the file agrees).
 
 import (
 	"bufio"
@@ -29,6 +43,7 @@ import (
 
 	"kdash/internal/core"
 	"kdash/internal/graph"
+	"kdash/internal/mmapio"
 	"kdash/internal/reorder"
 )
 
@@ -48,9 +63,19 @@ const ManifestName = "manifest.json"
 // manifestVersion is bumped whenever the directory layout changes.
 // Version 2 added the dynamic-update state: a graph snapshot (edge
 // list), the build inputs Apply replays (reorder method, seed), the
-// per-shard staleness counters and the epoch number. Version 1
-// directories still load — they just reject Apply, having no graph.
-const manifestVersion = 2
+// per-shard staleness counters and the epoch number. Version 3 switched
+// the shard files to the sectioned (memory-mappable) core format and
+// added the shardFormat marker plus per-shard nnz hints, so a lazy open
+// can report stats without touching a single shard file. Version 1 and
+// 2 directories still load; v1 additionally rejects Apply, having no
+// graph.
+const manifestVersion = 3
+
+// shardFormatSectioned marks shard files written in the sectioned v3
+// core layout (mmapio container); absent/zero means the legacy v1
+// stream. Loads sniff the files either way — the field exists for
+// tooling and humans reading the manifest.
+const shardFormatSectioned = 3
 
 // manifest is the JSON document written to ManifestName.
 type manifest struct {
@@ -71,11 +96,15 @@ type manifest struct {
 	StalenessLimit int    `json:"stalenessLimit,omitempty"`
 	Staleness      []int  `json:"staleness,omitempty"`
 
+	// Version 3 fields.
+	ShardFormat int `json:"shardFormat,omitempty"`
+
 	Stats struct {
 		Sizes         []int   `json:"sizes"`
 		CutEdges      int     `json:"cutEdges"`
 		CutWeightFrac float64 `json:"cutWeightFrac"`
 		NNZInverse    int     `json:"nnzInverse"`
+		NNZShards     []int   `json:"nnzShards,omitempty"` // v3: per-shard nnz hints
 		Communities   int     `json:"communities"`
 		Modularity    float64 `json:"modularity"`
 	} `json:"stats"`
@@ -93,8 +122,25 @@ func IsShardedIndexDir(path string) bool {
 	return err == nil
 }
 
-// Save writes the sharded index into dir, creating it if needed.
+// Save writes the sharded index into dir, creating it if needed. Shard
+// files are written in the sectioned v3 core layout, so the directory
+// can be re-opened with memory mapping (Open with an mmap mode) —
+// including by an index that was itself lazily mapped: saving forces
+// any still-deferred shard open, copies nothing that was not already
+// resident, and the successor process simply remaps the new files.
 func (sx *ShardedIndex) Save(dir string) error {
+	return sx.save(dir, false)
+}
+
+// SaveLegacy writes the directory in its pre-v3 shape: a version 2
+// manifest and legacy v1 shard streams. Deprecated in favour of Save;
+// retained so compatibility tests and the cold-start benchmark can
+// produce old-format directories.
+func (sx *ShardedIndex) SaveLegacy(dir string) error {
+	return sx.save(dir, true)
+}
+
+func (sx *ShardedIndex) save(dir string, legacy bool) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("shard: creating index directory: %w", err)
 	}
@@ -111,6 +157,14 @@ func (sx *ShardedIndex) Save(dir string) error {
 	m.Epoch = sx.epoch
 	m.StalenessLimit = sx.stalenessLimit
 	m.Staleness = sx.staleness
+	if !legacy {
+		m.ShardFormat = shardFormatSectioned
+	} else {
+		m.Version = 2
+	}
+	if err := sx.ensureGraph(); err != nil { // a deferred snapshot must materialise to be re-saved
+		return fmt.Errorf("shard: loading graph snapshot: %w", err)
+	}
 	if sx.g != nil {
 		m.GraphFile = "graph.tsv"
 		if err := writeFile(filepath.Join(dir, m.GraphFile), sx.g.WriteEdgeList); err != nil {
@@ -123,13 +177,30 @@ func (sx *ShardedIndex) Save(dir string) error {
 	m.Stats.NNZInverse = sx.stats.NNZInverse
 	m.Stats.Communities = sx.stats.Communities
 	m.Stats.Modularity = sx.stats.Modularity
+	nnzTotal := 0
 	for si, p := range sx.parts {
 		name := fmt.Sprintf("shard-%04d.idx", si)
 		m.ShardFiles = append(m.ShardFiles, name)
-		if err := writeFile(filepath.Join(dir, name), p.ix.Save); err != nil {
+		if err := p.openIndex(); err != nil { // force a still-deferred open, as an error
+			return fmt.Errorf("shard: saving shard %d: %w", si, err)
+		}
+		ix := p.index()
+		nnzTotal += ix.Stats().NNZInverse
+		write := ix.Save
+		if legacy {
+			write = ix.SaveLegacy
+		} else {
+			m.Stats.NNZShards = append(m.Stats.NNZShards, ix.Stats().NNZInverse)
+		}
+		if err := writeFile(filepath.Join(dir, name), write); err != nil {
 			return fmt.Errorf("shard: saving shard %d: %w", si, err)
 		}
 	}
+	// Every shard is open now, so the aggregate is exact — re-derive it
+	// rather than trusting a possibly hint-carried in-memory value (an
+	// update chain over a lazily loaded pre-v3 directory has no per-shard
+	// hints to keep the running total precise).
+	m.Stats.NNZInverse = nnzTotal
 	if err := writeFile(filepath.Join(dir, m.AssignmentFile), sx.writeAssignment); err != nil {
 		return fmt.Errorf("shard: saving assignment: %w", err)
 	}
@@ -205,8 +276,36 @@ func (sx *ShardedIndex) writeCuts(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a sharded index previously written by Save.
+// LoadOptions configures Open.
+type LoadOptions struct {
+	// Mode selects how shard files are backed: mmapio.ModeMmap and
+	// ModeAuto map sectioned (v3) shard files read-only and wrap their
+	// arrays in place; mmapio.ModeCopy materialises private copies with
+	// every checksum verified. The zero value is ModeAuto (map where
+	// the platform supports it); Load passes ModeCopy explicitly to
+	// keep its historical fully-private contract. Legacy shard files
+	// are parsed into private memory whatever the mode.
+	Mode mmapio.Mode
+	// Lazy defers each shard file's open to the first query that solves
+	// the shard: Open returns after reading only the manifest,
+	// assignment, cuts and graph snapshot, so a 64-shard index serves a
+	// query against shard 3 before shard 60's file is ever touched.
+	// Without Lazy every shard opens (and validates) before Open
+	// returns.
+	Lazy bool
+}
+
+// Load reads a sharded index previously written by Save, fully
+// materialised in private memory — the conservative default. Use Open
+// to memory-map and/or lazily open the shard files.
 func Load(dir string) (*ShardedIndex, error) {
+	return Open(dir, LoadOptions{Mode: mmapio.ModeCopy})
+}
+
+// Open reads a sharded index with explicit backing and laziness
+// choices. See LoadOptions; Close releases whatever mappings were
+// established.
+func Open(dir string, opt LoadOptions) (*ShardedIndex, error) {
 	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, fmt.Errorf("shard: reading manifest: %w", err)
@@ -215,7 +314,7 @@ func Load(dir string) (*ShardedIndex, error) {
 	if err := json.Unmarshal(blob, &m); err != nil {
 		return nil, fmt.Errorf("shard: decoding manifest: %w", err)
 	}
-	if m.Version != 1 && m.Version != manifestVersion {
+	if m.Version < 1 || m.Version > manifestVersion {
 		return nil, fmt.Errorf("shard: unsupported manifest version %d (want <= %d)", m.Version, manifestVersion)
 	}
 	if m.Nodes <= 0 || m.Nodes > 1<<40 || m.Shards <= 0 || m.Shards > m.Nodes || len(m.ShardFiles) != m.Shards {
@@ -272,19 +371,29 @@ func Load(dir string) (*ShardedIndex, error) {
 		return nil, fmt.Errorf("shard: corrupt manifest (%d staleness counters for %d shards)", len(m.Staleness), m.Shards)
 	}
 	if m.GraphFile != "" {
-		f, err := os.Open(filepath.Join(dir, m.GraphFile))
-		if err != nil {
-			return nil, fmt.Errorf("shard: opening graph snapshot: %w", err)
+		path := filepath.Join(dir, m.GraphFile)
+		load := func() (*graph.Graph, error) {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, fmt.Errorf("shard: opening graph snapshot: %w", err)
+			}
+			g, err := graph.ParseEdgeList(f, m.Nodes)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("shard: reading graph snapshot: %w", err)
+			}
+			if g.N() != m.Nodes {
+				return nil, fmt.Errorf("shard: graph snapshot has %d nodes, manifest says %d", g.N(), m.Nodes)
+			}
+			return g, nil
 		}
-		g, err := graph.ParseEdgeList(f, m.Nodes)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("shard: reading graph snapshot: %w", err)
+		if opt.Lazy {
+			// The snapshot only matters to Apply and Save; parsing the
+			// O(m) edge list has no place on the query cold-start path.
+			sx.gLoad = load
+		} else if sx.g, err = load(); err != nil {
+			return nil, err
 		}
-		if g.N() != m.Nodes {
-			return nil, fmt.Errorf("shard: graph snapshot has %d nodes, manifest says %d", g.N(), m.Nodes)
-		}
-		sx.g = g
 	}
 	if sx.home, err = readAssignment(filepath.Join(dir, m.AssignmentFile), m.Nodes, m.Shards); err != nil {
 		return nil, err
@@ -298,37 +407,37 @@ func Load(dir string) (*ShardedIndex, error) {
 		sx.local[u] = len(p.nodes)
 		p.nodes = append(p.nodes, u)
 	}
-	for si, name := range m.ShardFiles {
-		p := sx.parts[si]
+	for si, p := range sx.parts {
 		if len(p.nodes) == 0 {
 			return nil, fmt.Errorf("shard: corrupt manifest (shard %d owns no nodes)", si)
 		}
-		f, err := os.Open(filepath.Join(dir, name))
-		if err != nil {
-			return nil, fmt.Errorf("shard: opening shard %d: %w", si, err)
-		}
-		ix, err := core.LoadIndex(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("shard: loading shard %d: %w", si, err)
-		}
-		switch ix.N() {
-		case len(p.nodes):
-			p.sink = false
-		case len(p.nodes) + 1:
-			p.sink = true
-		default:
-			return nil, fmt.Errorf("shard: shard %d has %d nodes, assignment says %d", si, ix.N(), len(p.nodes))
-		}
-		// The cut weights are pre-scaled by the manifest's (1-c); a shard
-		// file built with a different c would answer silently wrong.
-		if ix.Restart() != sx.c {
-			return nil, fmt.Errorf("shard: shard %d built with restart %v, manifest says %v", si, ix.Restart(), sx.c)
-		}
-		p.ix = ix
 	}
+	// Cut lists load eagerly (they are small and every shard's residual
+	// bookkeeping needs them); they also determine each shard's ghost
+	// sink before its file is opened — a shard carries a sink exactly
+	// when it has outgoing cut edges, because Build adds one for any
+	// positive leaked weight and edge weights are strictly positive.
 	if err := sx.readCuts(filepath.Join(dir, m.CutsFile)); err != nil {
 		return nil, err
+	}
+	if m.Stats.NNZShards != nil && len(m.Stats.NNZShards) != m.Shards {
+		return nil, fmt.Errorf("shard: corrupt manifest (%d nnz hints for %d shards)", len(m.Stats.NNZShards), m.Shards)
+	}
+	for si, name := range m.ShardFiles {
+		p := sx.parts[si]
+		p.sink = len(p.cuts) > 0
+		if m.Stats.NNZShards != nil {
+			p.nnzHint = m.Stats.NNZShards[si]
+			p.nnzHinted = true
+		}
+		p.lazy = newShardOpener(sx, p, si, filepath.Join(dir, name), opt.Mode)
+	}
+	sx.mapCapable = opt.Mode != mmapio.ModeCopy && mmapio.MmapSupported() && mmapio.CanZeroCopy()
+	if !opt.Lazy {
+		if err := sx.OpenAll(); err != nil {
+			sx.Close() // release mappings of the shards that did open
+			return nil, fmt.Errorf("shard: %w", err)
+		}
 	}
 	sx.stats = BuildStats{
 		Shards:        m.Shards,
@@ -340,6 +449,36 @@ func Load(dir string) (*ShardedIndex, error) {
 		Modularity:    m.Stats.Modularity,
 	}
 	return sx, nil
+}
+
+// newShardOpener builds the deferred open of one shard file: open (v3
+// files in the requested mmapio mode, legacy streams by parsing) and
+// validate the file against the manifest the directory was loaded with.
+// The node-count check pins the cut-derived sink flag: a directory
+// whose shard file disagrees with its cut list is corrupt and rejected
+// at open time.
+func newShardOpener(sx *ShardedIndex, p *part, si int, path string, mode mmapio.Mode) *lazyIndex {
+	return &lazyIndex{open: func() (*core.Index, error) {
+		ix, err := core.OpenIndexFile(path, mode)
+		if err != nil {
+			return nil, fmt.Errorf("loading shard %d: %w", si, err)
+		}
+		want := len(p.nodes)
+		if p.sink {
+			want++
+		}
+		if ix.N() != want {
+			ix.Close()
+			return nil, fmt.Errorf("shard %d has %d nodes, assignment and cuts say %d", si, ix.N(), want)
+		}
+		// The cut weights are pre-scaled by the manifest's (1-c); a shard
+		// file built with a different c would answer silently wrong.
+		if ix.Restart() != sx.c {
+			ix.Close()
+			return nil, fmt.Errorf("shard %d built with restart %v, manifest says %v", si, ix.Restart(), sx.c)
+		}
+		return ix, nil
+	}}
 }
 
 func readAssignment(path string, n, shards int) ([]int, error) {

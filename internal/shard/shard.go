@@ -21,6 +21,15 @@
 // pending inflow can no longer raise any proximity above the tolerance
 // are pruned without being solved — the paper's Amax-style estimation
 // lifted to shard granularity via cut-edge mass.
+//
+// A ShardedIndex is immutable after construction: queries draw all
+// their scratch from pooled push state, and dynamic updates are
+// functional (Apply returns a successor epoch sharing untouched parts
+// by pointer). Persistence mirrors the partitioning — one file per
+// shard under a manifest (serialize.go) — so Open can memory-map shard
+// files read-only and defer each one to the first query that solves
+// the shard. See docs/ARCHITECTURE.md for the epoch/immutability
+// contract and the directory format.
 package shard
 
 import (
@@ -103,12 +112,97 @@ type cutEdge struct {
 // part is one shard: the nodes it owns, its K-dash index over the induced
 // subgraph (+ ghost sink when the shard has outgoing cut weight), and its
 // outgoing cut edges grouped by source node.
+//
+// The index itself may be deferred: a lazily opened directory (see
+// LoadOptions.Lazy) leaves ix nil and sets lazy, so the shard file is
+// only mapped when a query first pushes mass into the shard — reach the
+// index through index() (or tryIndex for observability paths that must
+// not force an open), never the field.
 type part struct {
-	nodes  []int // local -> global id
-	ix     *core.Index
-	sink   bool      // index has one extra sink node appended
-	cuts   []cutEdge // sorted by src
-	cutPtr []int     // cuts of local node v are cuts[cutPtr[v]:cutPtr[v+1]]
+	nodes     []int // local -> global id
+	ix        *core.Index
+	lazy      *lazyIndex // non-nil: the index opens on first use
+	sink      bool       // index has one extra sink node appended
+	cuts      []cutEdge  // sorted by src
+	cutPtr    []int      // cuts of local node v are cuts[cutPtr[v]:cutPtr[v+1]]
+	nnzHint   int        // manifest v3 per-shard nnz, so stats need no open
+	nnzHinted bool       // the hint is real (v3 manifest) vs absent (v2 lazy load)
+}
+
+// lazyIndex is the once-guarded deferred open of one shard's index
+// file. It is shared by pointer when epochs share an unrebuilt part, so
+// whichever epoch touches the shard first opens it for both.
+type lazyIndex struct {
+	once sync.Once
+	done atomic.Bool // set after once ran; guards lock-free tryIndex reads
+	open func() (*core.Index, error)
+	ix   *core.Index
+	err  error
+}
+
+// index returns the shard's core index, opening it on first use. An
+// open failure (the file vanished or was corrupted between Load and the
+// first query touching this shard) panics: callers sit deep inside the
+// push loop where an error return does not exist, and the HTTP server
+// recovers panics into 500s. Load-time validation (manifest shape,
+// eager OpenAll when not lazy) makes this a genuine I/O-failure path,
+// not an expected one.
+func (p *part) index() *core.Index {
+	if p.lazy == nil {
+		return p.ix
+	}
+	if err := p.openIndex(); err != nil {
+		panic(fmt.Sprintf("shard: %v", err))
+	}
+	return p.lazy.ix
+}
+
+// openIndex forces the deferred open, returning its error. It is the
+// non-panicking form index() wraps; OpenAll uses it to surface open
+// failures as ordinary errors at load time.
+func (p *part) openIndex() error {
+	if p.lazy == nil {
+		return nil
+	}
+	l := p.lazy
+	l.once.Do(func() {
+		l.ix, l.err = l.open()
+		l.open = nil // the closure pins the directory paths; drop it
+		l.done.Store(true)
+	})
+	return l.err
+}
+
+// tryIndex returns the index if it is already open and nil otherwise,
+// without forcing an open — the race-safe read observability paths
+// (Statz) and stats fallbacks use.
+func (p *part) tryIndex() *core.Index {
+	if p.lazy == nil {
+		return p.ix
+	}
+	if p.lazy.done.Load() && p.lazy.err == nil {
+		return p.lazy.ix
+	}
+	return nil
+}
+
+// nnzInverse reports the shard's inverse-factor nonzeros without
+// forcing an open: the live index when available, the manifest hint
+// otherwise. ok is false only for an unopened shard with no hint (a
+// lazily loaded pre-v3 directory), where the true value is unknowable
+// without an open — callers must not treat the 0 as a count.
+func (p *part) nnzInverse() (nnz int, ok bool) {
+	if ix := p.tryIndex(); ix != nil {
+		return ix.Stats().NNZInverse, true
+	}
+	return p.nnzHint, p.nnzHinted
+}
+
+// share returns a copy of the part for a successor epoch that did not
+// rebuild it: the node list, index (open or deferred — the lazyIndex is
+// shared by pointer) and cut lists carry over.
+func (p *part) share() *part {
+	return &part{nodes: p.nodes, ix: p.ix, lazy: p.lazy, sink: p.sink, nnzHint: p.nnzHint, nnzHinted: p.nnzHinted, cuts: p.cuts, cutPtr: p.cutPtr}
 }
 
 // ShardedIndex is a partitioned K-dash index. Like core.Index it is
@@ -136,6 +230,20 @@ type ShardedIndex struct {
 	stalenessLimit int
 	staleness      []int
 	epoch          int
+
+	// gOnce/gLoad defer the graph snapshot's parse for lazily opened
+	// directories: the snapshot exists only for Apply (and re-Save), so
+	// a query-serving cold start never pays the O(m) edge-list parse.
+	// ensureGraph forces it; gErr holds a deferred parse failure.
+	gOnce sync.Once
+	gLoad func() (*graph.Graph, error)
+	gErr  error
+
+	// mapCapable records whether this index was opened with an
+	// mmap-capable mode on an mmap-capable platform — the configured
+	// backing Mapped reports; which shard files are actually mapped
+	// right now is per-shard state in Statz.
+	mapCapable bool
 
 	// revAdj[d] lists the shards with a cut edge into shard d, the
 	// shard-granular reverse adjacency single-pair queries bound residual
@@ -534,14 +642,26 @@ func (sx *ShardedIndex) HomeShard(u int) int { return sx.home[u] }
 func (sx *ShardedIndex) Stats() BuildStats { return sx.stats }
 
 // Statz reports observability fields for the server's /statz endpoint.
+// It never forces a lazy shard open: unopened shards report their
+// manifest nnz hint and opened=false, so operators can watch demand
+// paging do its job (shardsOpened climbing towards shards under real
+// traffic, staying put for skewed traffic).
 func (sx *ShardedIndex) Statz() map[string]interface{} {
 	shards := make([]map[string]interface{}, len(sx.parts))
+	opened := 0
+	mappedBytes := 0
 	for i, p := range sx.parts {
-		st := p.ix.Stats()
+		ix := p.tryIndex()
+		if ix != nil {
+			opened++
+			mappedBytes += ix.MappedBytes()
+		}
+		nnz, _ := p.nnzInverse()
 		shards[i] = map[string]interface{}{
 			"nodes":      len(p.nodes),
 			"cutEdges":   len(p.cuts),
-			"nnzInverse": st.NNZInverse,
+			"nnzInverse": nnz,
+			"opened":     ix != nil,
 		}
 	}
 	return map[string]interface{}{
@@ -549,9 +669,50 @@ func (sx *ShardedIndex) Statz() map[string]interface{} {
 		"nodes":         sx.n,
 		"restart":       sx.c,
 		"shards":        len(sx.parts),
+		"shardsOpened":  opened,
+		"mappedBytes":   mappedBytes,
 		"cutEdges":      sx.stats.CutEdges,
 		"cutWeightFrac": sx.stats.CutWeightFrac,
 		"nnzInverse":    sx.stats.NNZInverse,
 		"perShard":      shards,
 	}
+}
+
+// Mapped reports whether the index was opened with memory-mapped
+// backing (an mmap-capable mode on a platform that supports it). It
+// describes the configured backing, not per-shard state: lazily
+// deferred shards count once opened, and legacy-format shard files
+// inside a mapped directory still fall back to private parses
+// (visible per shard in Statz).
+func (sx *ShardedIndex) Mapped() bool { return sx.mapCapable }
+
+// OpenAll forces every deferred shard open, surfacing the first failure
+// as an ordinary error. Eager loads run it so a broken directory fails
+// at Load rather than mid-query; it is also the warm-up hook for
+// operators who want the whole index resident before taking traffic.
+func (sx *ShardedIndex) OpenAll() error {
+	for si, p := range sx.parts {
+		if err := p.openIndex(); err != nil {
+			return fmt.Errorf("shard %d: %w", si, err)
+		}
+	}
+	return nil
+}
+
+// Close releases every opened shard's backing file mapping. A
+// memory-mapped index must not be queried after Close; indexes loaded
+// into private memory (and built ones) close as a no-op. Shared epochs
+// beware: successors of Apply share unrebuilt parts — and their
+// mappings — with their predecessor, so close only the last epoch of a
+// chain.
+func (sx *ShardedIndex) Close() error {
+	var first error
+	for _, p := range sx.parts {
+		if ix := p.tryIndex(); ix != nil {
+			if err := ix.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }

@@ -175,7 +175,10 @@ func (st *pushState) solveShard(best int, qs *QueryStats) {
 
 	solver := st.solvers[best]
 	if solver == nil {
-		solver = p.ix.NewSparseSolver()
+		// index() is where a lazily loaded shard file is first mapped:
+		// a shard is opened when a query actually solves it, never
+		// before.
+		solver = p.index().NewSparseSolver()
 		st.solvers[best] = solver
 	}
 	y, ysup, err := solver.SolveSparse(idx, val)

@@ -51,10 +51,25 @@ type UpdateStats struct {
 	BuildTime time.Duration // wall clock of the shard rebuilds (worker pool)
 }
 
-// Graph returns the current graph snapshot, or nil for an index loaded
-// from a manifest that predates graph snapshots (such an index answers
-// queries but rejects Apply).
-func (sx *ShardedIndex) Graph() *graph.Graph { return sx.g }
+// Graph returns the current graph snapshot, parsing a lazily loaded
+// one on first use. It returns nil for an index loaded from a manifest
+// that predates graph snapshots (such an index answers queries but
+// rejects Apply) — and for a deferred snapshot whose parse failed,
+// which Apply reports as an error.
+func (sx *ShardedIndex) Graph() *graph.Graph {
+	sx.ensureGraph()
+	return sx.g
+}
+
+// ensureGraph forces a deferred graph-snapshot parse, once.
+func (sx *ShardedIndex) ensureGraph() error {
+	// gLoad is written once at load time and never mutated afterwards,
+	// so this read is race-free alongside concurrent ensureGraph calls.
+	if sx.gLoad != nil {
+		sx.gOnce.Do(func() { sx.g, sx.gErr = sx.gLoad() })
+	}
+	return sx.gErr
+}
 
 // Epoch reports how many Apply steps produced this index: 0 for a
 // fresh build, incrementing along the successor chain.
@@ -73,6 +88,9 @@ func (sx *ShardedIndex) Assignment() []int {
 // refactorized; everything else is shared with the receiver.
 func (sx *ShardedIndex) Apply(batch *graph.Delta) (*ShardedIndex, UpdateStats, error) {
 	var us UpdateStats
+	if err := sx.ensureGraph(); err != nil {
+		return nil, us, fmt.Errorf("shard: loading graph snapshot: %w", err)
+	}
 	if sx.g == nil {
 		return nil, us, fmt.Errorf("shard: %w (loaded from a pre-v2 manifest); rebuild from the original edge list instead", core.ErrNotUpdatable)
 	}
@@ -165,6 +183,7 @@ func (sx *ShardedIndex) Apply(batch *graph.Delta) (*ShardedIndex, UpdateStats, e
 		stalenessLimit: sx.stalenessLimit,
 		staleness:      staleness2,
 		epoch:          sx.epoch + 1,
+		mapCapable:     sx.mapCapable, // shared unrebuilt parts keep their mappings
 	}
 	cutMask := make([]bool, s)
 	for si := 0; si < s; si++ {
@@ -175,9 +194,9 @@ func (sx *ShardedIndex) Apply(batch *graph.Delta) (*ShardedIndex, UpdateStats, e
 		}
 		if us.Repartitioned {
 			// Index unchanged, but cut targets' local ids may have
-			// shifted: fresh part sharing the built index, cuts redone.
-			old := sx.parts[si]
-			sx2.parts[si] = &part{nodes: old.nodes, ix: old.ix, sink: old.sink}
+			// shifted: fresh part sharing the (possibly still deferred)
+			// index, cuts redone below via the mask.
+			sx2.parts[si] = sx.parts[si].share()
 			cutMask[si] = true
 			continue
 		}
@@ -230,11 +249,24 @@ func (sx *ShardedIndex) Apply(batch *graph.Delta) (*ShardedIndex, UpdateStats, e
 		}
 	}
 
-	nnz := 0
+	nnz, nnzKnown := 0, true
 	newSizes := make([]int, s)
 	for si, p := range sx2.parts {
 		newSizes[si] = len(p.nodes)
-		nnz += p.ix.Stats().NNZInverse
+		// nnzInverse never forces a deferred shard open: unopened shared
+		// parts fall back to their manifest hint, so an update against a
+		// lazily mapped index stays proportional to its dirty set.
+		v, ok := p.nnzInverse()
+		nnz += v
+		nnzKnown = nnzKnown && ok
+	}
+	if !nnzKnown {
+		// A lazily loaded pre-v3 directory carries no per-shard hints, so
+		// the aggregate over unopened shards is unknowable without opens.
+		// Carrying the previous epoch's (slightly stale) total forward
+		// beats persisting an undercount; Save recomputes the true value
+		// when it force-opens every shard.
+		nnz = sx.stats.NNZInverse
 	}
 	frac := 0.0
 	if totalW > 0 {

@@ -22,6 +22,14 @@
 //
 // Node ids are dense integers 0..n-1; callers keep their own label
 // mapping (see examples/dictionary for a labelled corpus).
+//
+// Beyond the monolithic Index the package exposes the partitioned
+// ShardedIndex (parallel builds, exact cross-shard queries, functional
+// dynamic updates) and file-backed persistence for both: Save writes a
+// page-aligned sectioned layout that OpenIndex / OpenShardedIndex can
+// memory-map read-only for near-instant cold starts (see OpenOptions).
+// The architecture — layer map, immutability and pooling contracts,
+// on-disk formats — is documented in docs/ARCHITECTURE.md.
 package kdash
 
 import (
@@ -29,6 +37,7 @@ import (
 
 	"kdash/internal/core"
 	"kdash/internal/graph"
+	"kdash/internal/mmapio"
 	"kdash/internal/reorder"
 	"kdash/internal/rwr"
 	"kdash/internal/shard"
@@ -121,9 +130,52 @@ func Load(r io.Reader) (*Graph, error) {
 // LoadIndex reads an index previously written with Index.Save.
 // Precomputation is the expensive step of K-dash, so production
 // deployments build the index once and ship the serialised form to query
-// servers.
+// servers. Reading from a stream always materialises the index in
+// private memory; use OpenIndex to memory-map an index file instead.
 func LoadIndex(r io.Reader) (*Index, error) {
 	return core.LoadIndex(r)
+}
+
+// OpenOptions configures OpenIndex and OpenShardedIndex, the
+// file-backed load paths.
+type OpenOptions struct {
+	// Mmap memory-maps saved (v3-format) index files read-only instead
+	// of copying them into private memory: opening costs milliseconds
+	// regardless of index size, pages fault in on first use, and the
+	// physical memory is shared across processes serving the same
+	// files. Writes through a mapped index's arrays are impossible (the
+	// mapping is read-only at the MMU level), and Close must be called
+	// once the index is retired. On platforms without mmap support —
+	// or for legacy-format files — opening silently falls back to the
+	// private-copy path; Index.Mapped reports which one was taken.
+	Mmap bool
+	// Lazy, for sharded indexes, defers each shard file's open to the
+	// first query that actually solves the shard, so a cold start
+	// touches only the manifest and the shards live traffic reaches.
+	// Combined with Mmap this is the instant-cold-start configuration:
+	// open time is O(shards touched), resident memory O(bytes queried).
+	Lazy bool
+}
+
+// mode maps the public knob onto the internal backing mode.
+func (o OpenOptions) mode() mmapio.Mode {
+	if o.Mmap {
+		return mmapio.ModeAuto
+	}
+	return mmapio.ModeCopy
+}
+
+// OpenIndex opens a saved monolithic index directly from a file,
+// memory-mapping it when opt.Mmap is set (see OpenOptions).
+func OpenIndex(path string, opt OpenOptions) (*Index, error) {
+	return core.OpenIndexFile(path, opt.mode())
+}
+
+// OpenShardedIndex opens a saved sharded index directory with explicit
+// backing (opt.Mmap) and laziness (opt.Lazy) choices; see OpenOptions.
+// ShardedIndex.Close releases whatever mappings were established.
+func OpenShardedIndex(dir string, opt OpenOptions) (*ShardedIndex, error) {
+	return shard.Open(dir, shard.LoadOptions{Mode: opt.mode(), Lazy: opt.Lazy})
 }
 
 // ShardedIndex is a partitioned K-dash index: the graph is split into

@@ -1,0 +1,119 @@
+// Command doccheck fails when exported identifiers in the given
+// package directories lack doc comments — the docs gate CI runs over
+// the public kdash package, so the API surface godoc renders never
+// silently grows undocumented entries.
+//
+// Usage:
+//
+//	go run ./tools/doccheck <dir> [dir...]
+//
+// Only non-test .go files are checked. An exported const/var inside a
+// documented grouped declaration counts as documented (the group doc
+// covers it), matching godoc's rendering.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck <dir> [dir...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		fset := token.NewFileSet()
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doccheck:", err)
+				os.Exit(2)
+			}
+			bad += checkFile(fset, f)
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifier(s) missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkFile reports each undocumented exported top-level identifier in
+// one parsed file and returns how many it found.
+func checkFile(fset *token.FileSet, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, kind, name string) {
+		fmt.Printf("%s: exported %s %s has no doc comment\n", fset.Position(pos), kind, name)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			groupDocumented := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && s.Doc == nil && !groupDocumented {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if groupDocumented || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), "const/var", n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// exportedRecv reports whether a method's receiver type is itself
+// exported — methods on unexported types never reach godoc, so they
+// are out of scope.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true // plain function
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Strip generic receiver type parameters.
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
