@@ -35,12 +35,14 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|batch|updates|coldstart|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|batch|updates|coldstart|serve|all")
 		queries    = flag.Int("queries", 10, "query nodes averaged per measurement")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		shards     = flag.String("shards", "1,2,4,8", "shard counts for -exp shards")
 		shardNodes = flag.Int("shard-nodes", 0, "graph size for -exp shards/batch (0 = default 50000)")
 		batches    = flag.String("batches", "1,8,64", "batch sizes for -exp batch")
+		serveDur   = flag.Duration("serve-duration", 0, "per-phase wall clock for -exp serve (0 = default 4s)")
+		serveWk    = flag.Int("serve-workers", 0, "client concurrency for -exp serve (0 = default 8)")
 		jsonOut    = flag.Bool("json", false, "also write each experiment's rows to BENCH_<exp>.json")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile (post-run) to this file")
@@ -50,7 +52,10 @@ func main() {
 	check(err)
 	batchSizes, err := parseInts(*batches)
 	check(err)
-	cfg := experiments.Config{Queries: *queries, Seed: *seed, ShardCounts: shardCounts, ShardGraphN: *shardNodes, BatchSizes: batchSizes}
+	cfg := experiments.Config{
+		Queries: *queries, Seed: *seed, ShardCounts: shardCounts, ShardGraphN: *shardNodes,
+		BatchSizes: batchSizes, ServeDuration: *serveDur, ServeWorkers: *serveWk,
+	}
 	want := strings.Split(*exp, ",")
 	run := func(name string) bool {
 		for _, w := range want {
@@ -86,11 +91,13 @@ func main() {
 		doc := map[string]interface{}{
 			"experiment": name,
 			"config": map[string]interface{}{
-				"queries":    *queries,
-				"seed":       *seed,
-				"shards":     shardCounts,
-				"shardNodes": *shardNodes,
-				"batches":    batchSizes,
+				"queries":       *queries,
+				"seed":          *seed,
+				"shards":        shardCounts,
+				"shardNodes":    *shardNodes,
+				"batches":       batchSizes,
+				"serveDuration": serveDur.String(),
+				"serveWorkers":  *serveWk,
 			},
 			"rows": rows,
 		}
@@ -197,6 +204,14 @@ func main() {
 		check(err)
 		experiments.WriteColdStartRows(os.Stdout, rows)
 		emit("coldstart", rows)
+	}
+	if run("serve") {
+		any = true
+		section("Extension — serve load: closed/open-loop mixed traffic against the HTTP server")
+		rows, err := experiments.ServeLoad(cfg)
+		check(err)
+		experiments.WriteServeRows(os.Stdout, rows)
+		emit("serve", rows)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kdash-bench: unknown experiment %q\n", *exp)

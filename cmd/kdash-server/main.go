@@ -17,8 +17,18 @@
 //	POST /personalized   {"seeds":{"3":1,"80":2},"k":5}
 //	GET  /proximity?q=<node>&u=<node>
 //	POST /update         apply a graph delta, swap to the successor epoch
-//	GET  /healthz        liveness, index shape, current epoch
-//	GET  /statz          build/load stats, per-shard sizes, query/error counters, RSS
+//	GET  /healthz        liveness, index shape, current epoch, build info
+//	GET  /statz          build/load stats, per-shard sizes, query/error counters, latency, RSS
+//	GET  /metrics        the same counters as Prometheus text exposition
+//
+// Any /topk request may add ?trace=1 (or the X-Kdash-Trace: 1 header)
+// to receive a per-query push trace — the shard solve sequence with
+// residual-bound trajectory and per-phase nanoseconds — in the
+// response's "trace" block; see docs/OBSERVABILITY.md.
+//
+// -log-format/-log-level enable structured request logging through
+// log/slog: one line per request with endpoint, status, latency and a
+// trace id.
 //
 // With -mmap, a v3 index is memory-mapped read-only instead of parsed:
 // the server takes traffic milliseconds after exec, shard files are
@@ -35,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +55,26 @@ import (
 	"kdash"
 	"kdash/internal/server"
 )
+
+// buildLogger assembles the request logger from the -log-format and
+// -log-level flags; an empty format disables request logging.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	if format == "" {
+		return nil, nil
+	}
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %v", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf(`bad -log-format %q: want "text" or "json"`, format)
+}
 
 func main() {
 	var (
@@ -60,8 +91,16 @@ func main() {
 		readTimeout     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout    = flag.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight queries on SIGINT/SIGTERM")
+
+		logFormat = flag.String("log-format", "", `structured request logging: "text" or "json" (empty = off)`)
+		logLevel  = flag.String("log-level", "info", "minimum request-log level: debug, info, warn or error")
 	)
 	flag.Parse()
+	requestLog, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kdash-server: %v\n", err)
+		os.Exit(2)
+	}
 	var engine server.Engine
 	openMode := "built"
 	tOpen := time.Now()
@@ -135,7 +174,8 @@ func main() {
 		Handler: server.New(engine,
 			server.WithCache(*cacheSize),
 			server.WithMaxBatch(*maxBatch),
-			server.WithOpenInfo(time.Since(tOpen), openMode)),
+			server.WithOpenInfo(time.Since(tOpen), openMode),
+			server.WithRequestLog(requestLog)),
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 	}

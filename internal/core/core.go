@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"kdash/internal/graph"
 	"kdash/internal/lu"
 	"kdash/internal/mmapio"
+	"kdash/internal/obs"
 	"kdash/internal/reorder"
 	"kdash/internal/rwr"
 	"kdash/internal/sparse"
@@ -225,6 +227,17 @@ type SearchOptions struct {
 	// participate in the estimation (they may carry proximity mass); they
 	// are only barred from the top-k heap.
 	Exclude map[int]bool
+	// Ctx, when non-nil, cancels the query: engines check it at coarse
+	// boundaries (a sharded engine between shard solves, never per
+	// node) and abandon the solve with the context's error. A nil Ctx
+	// is never checked — the hot path pays one branch.
+	Ctx context.Context
+	// Trace, when non-nil, records the query's execution structure
+	// (shard solve schedule, residual-bound trajectory, per-phase wall
+	// clock) into the pointed-to recorder. The caller owns the
+	// instance; engines only append. Nil disables all recording and
+	// all timing syscalls.
+	Trace *obs.QueryTrace
 }
 
 // TopK returns the K nodes with the highest RWR proximity w.r.t. query
@@ -290,6 +303,18 @@ func (ix *Index) search(q int, opt SearchOptions, sw *searchWS) ([]topk.Result, 
 	if opt.K <= 0 {
 		return nil, stats, fmt.Errorf("core: K must be positive, got %d", opt.K)
 	}
+	// The monolithic search is one uninterruptible factor sweep, so the
+	// context is checked once up front: a request whose client is
+	// already gone never starts the work.
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("core: query cancelled: %w", err)
+		}
+	}
+	var tSolve time.Time
+	if opt.Trace != nil {
+		tSolve = time.Now()
+	}
 	qi := ix.perm[q] // internal id
 
 	// L^{-1} e_q scattered into a dense workspace for O(1) lookups while
@@ -312,9 +337,21 @@ func (ix *Index) search(q int, opt SearchOptions, sw *searchWS) ([]topk.Result, 
 		sw.ws[ix.linv.RowIdx[i]] = 0
 	}
 
+	var tRank time.Time
+	if opt.Trace != nil {
+		tRank = time.Now()
+		opt.Trace.SolveNS += tRank.Sub(tSolve).Nanoseconds()
+	}
 	results := heap.Results()
 	for i := range results {
 		results[i].Node = ix.inv[results[i].Node]
+	}
+	if tr := opt.Trace; tr != nil {
+		tr.RankNS += time.Since(tRank).Nanoseconds()
+		// The monolithic search has no shard granularity: the trace
+		// carries phase timings and work counts, no solve steps.
+		tr.NodesEvaluated += stats.ProximityComputations
+		tr.Converged = true
 	}
 	return results, stats, nil
 }
@@ -334,6 +371,14 @@ type BatchQuery struct {
 // searches on large indexes. Answers are identical to issuing each query
 // through Search.
 func (ix *Index) SearchBatch(queries []BatchQuery) ([][]topk.Result, []SearchStats, error) {
+	return ix.SearchBatchCtx(nil, queries)
+}
+
+// SearchBatchCtx is SearchBatch with cancellation: a non-nil context
+// is checked between the batch's queries (each individual search is
+// one uninterruptible factor sweep), so a disconnected client stops
+// paying for the rest of its batch. A nil context is never checked.
+func (ix *Index) SearchBatchCtx(ctx context.Context, queries []BatchQuery) ([][]topk.Result, []SearchStats, error) {
 	for i, bq := range queries {
 		if bq.Q < 0 || bq.Q >= ix.n {
 			return nil, nil, fmt.Errorf("core: batch query %d: node %d outside [0,%d)", i, bq.Q, ix.n)
@@ -347,6 +392,11 @@ func (ix *Index) SearchBatch(queries []BatchQuery) ([][]topk.Result, []SearchSta
 	results := make([][]topk.Result, len(queries))
 	stats := make([]SearchStats, len(queries))
 	for i, bq := range queries {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, fmt.Errorf("core: batch cancelled after %d of %d queries: %w", i, len(queries), err)
+			}
+		}
 		rs, st, err := ix.search(bq.Q, SearchOptions{K: bq.K, Exclude: bq.Exclude}, sw)
 		if err != nil {
 			return nil, nil, err

@@ -52,6 +52,12 @@ type Config struct {
 	// BatchSizes is the batch sweep for the batched-execution extension
 	// (default 1, 8, 64).
 	BatchSizes []int
+	// ServeDuration is the per-phase wall clock of the serve-load
+	// experiment (default 4s).
+	ServeDuration time.Duration
+	// ServeWorkers is the client concurrency of the serve-load
+	// experiment (default 8).
+	ServeWorkers int
 }
 
 func (c Config) withDefaults() Config {

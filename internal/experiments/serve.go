@@ -1,0 +1,352 @@
+package experiments
+
+// ServeLoad is the serving-load experiment: it stands the real HTTP
+// handler (internal/server) up on a loopback listener over an 8-shard
+// index and drives it with the mixed traffic a production deployment
+// sees — zipfian-skewed /topk queries, /topk/batch blocks, /proximity
+// pairs and a ~1/s background /update writer — measuring
+// client-observed latency quantiles and goodput. The closed-loop phase
+// finds the server's natural throughput at fixed concurrency; the
+// open-loop phases then pace arrivals at fractions of that rate, so
+// tail latency is measured against scheduled arrival times
+// (coordinated-omission-free: a slow response cannot slow the arrival
+// process down).
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kdash/internal/gen"
+	"kdash/internal/obs"
+	"kdash/internal/reorder"
+	"kdash/internal/server"
+	"kdash/internal/shard"
+)
+
+// ServeRow is one load phase's measurement.
+type ServeRow struct {
+	Mode      string        // "closed" (fixed concurrency) or "open" (paced arrivals)
+	Workers   int           // concurrent client workers
+	TargetQPS float64       // paced request rate; 0 for the closed loop
+	Duration  time.Duration // measured wall clock
+	Requests  int64         // requests completed successfully
+	Queries   int64         // queries inside those requests (a batch counts its size)
+	Errors    int64         // non-2xx responses, transport failures and pacer drops
+	Updates   int64         // background /update batches applied during the phase
+	Goodput   float64       // successful requests per second
+	QueryRate float64       // successful queries per second
+	Mean      time.Duration // mean latency (closed: per request; open: from scheduled arrival)
+	P50       time.Duration
+	P99       time.Duration
+	P999      time.Duration
+}
+
+const (
+	defaultServeDuration = 4 * time.Second
+	defaultServeWorkers  = 8
+	serveK               = 10  // /topk answer-set size
+	serveBatchSize       = 8   // queries per /topk/batch request
+	serveZipfS           = 1.1 // zipf skew of the query-node distribution
+)
+
+// serveMix is the traffic mix in per-mille: 850 topk / 100 batch / 50
+// proximity (updates arrive on their own ~1/s clock).
+const (
+	serveMixTopK  = 850
+	serveMixBatch = 950 // cumulative: batch occupies (850, 950]
+)
+
+// ServeLoad builds the index, serves it over loopback TCP and runs one
+// closed-loop phase plus open-loop phases at 50% and 75% of the
+// closed-loop request rate.
+func ServeLoad(cfg Config) ([]ServeRow, error) {
+	cfg = cfg.withDefaults()
+	d := cfg.ServeDuration
+	if d == 0 {
+		d = defaultServeDuration
+	}
+	workers := cfg.ServeWorkers
+	if workers == 0 {
+		workers = defaultServeWorkers
+	}
+	n := cfg.ShardGraphN
+	if n == 0 {
+		n = defaultShardGraphN
+	}
+	shardCount := 8
+	if len(cfg.ShardCounts) > 0 {
+		shardCount = cfg.ShardCounts[len(cfg.ShardCounts)-1]
+	}
+	communities := n / 100
+	if communities < 4 {
+		communities = 4
+	}
+	g := gen.CommunityOverlay(n, 3, communities, 0.995, cfg.Seed)
+	sx, err := shard.Build(g, shard.Options{Shards: shardCount, Reorder: reorder.Hybrid, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: serve-load build: %w", err)
+	}
+
+	// No vector cache: a /topk miss would compute a full n-entry
+	// proximity vector, swamping the microsecond pruned push this
+	// experiment is meant to measure (the cache counters have their own
+	// tests; production enables -cache only for genuinely skewed reuse).
+	h := server.New(sx)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: serve-load listen: %w", err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln) // returns ErrServerClosed on the deferred Close
+	defer srv.Close()
+
+	tr := &http.Transport{MaxIdleConns: workers * 2, MaxIdleConnsPerHost: workers * 2}
+	hv := &serveHarness{
+		base:    "http://" + ln.Addr().String(),
+		hc:      &http.Client{Transport: tr, Timeout: 30 * time.Second},
+		n:       n,
+		seed:    cfg.Seed,
+		workers: workers,
+	}
+
+	// Warm the connection pool, the pooled push states and the lazily
+	// built engine structures so phase one measures the steady state.
+	warm := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < workers*20; i++ {
+		_ = hv.doTopK(warm.Intn(n)) // warmup only
+	}
+
+	rows := make([]ServeRow, 0, 3)
+	closed := hv.runPhase("closed", 0, d)
+	rows = append(rows, closed)
+	for _, frac := range []float64{0.5, 0.75} {
+		rate := closed.Goodput * frac
+		if rate < 1 {
+			rate = 1
+		}
+		rows = append(rows, hv.runPhase("open", rate, d))
+	}
+	return rows, nil
+}
+
+// serveHarness is the shared state of one ServeLoad run: the target
+// server's address, the HTTP client, and the updater's node cursor
+// (each update inserts one fresh node, so ids never collide).
+type serveHarness struct {
+	base    string
+	hc      *http.Client
+	n       int // original node count; queries draw from [0, n)
+	seed    int64
+	workers int
+	phase   int // distinct rng streams per phase
+	nextNew int // nodes inserted by the updater so far (updater-only state)
+}
+
+// runPhase drives one load phase. rate 0 is the closed loop: workers
+// issue their next request the moment the previous one returns. rate>0
+// paces arrivals on a shared schedule; latency for those is measured
+// from the scheduled arrival, so queueing delay under overload is
+// visible instead of silently omitted.
+func (hv *serveHarness) runPhase(mode string, rate float64, d time.Duration) ServeRow {
+	hv.phase++
+	var (
+		lat      obs.Histogram
+		requests atomic.Int64
+		queries  atomic.Int64
+		errors   atomic.Int64
+		updates  atomic.Int64
+	)
+	deadline := time.Now().Add(d)
+	stop := make(chan struct{})
+	var updWG sync.WaitGroup
+	updWG.Add(1)
+	go func() {
+		defer updWG.Done()
+		hv.runUpdater(stop, &updates, &errors)
+	}()
+
+	var wg sync.WaitGroup
+	work := func(rng *rand.Rand, zipf *rand.Zipf, scheduled time.Time) {
+		t0 := scheduled
+		if t0.IsZero() {
+			t0 = time.Now()
+		}
+		nq, err := hv.doRequest(rng, zipf)
+		if err != nil {
+			errors.Add(1)
+			return
+		}
+		lat.Observe(time.Since(t0))
+		requests.Add(1)
+		queries.Add(int64(nq))
+	}
+
+	t0 := time.Now()
+	if rate <= 0 {
+		for w := 0; w < hv.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(hv.seed + int64(hv.phase*1000+w)))
+				zipf := rand.NewZipf(rng, serveZipfS, 1, uint64(hv.n-1))
+				for time.Now().Before(deadline) {
+					work(rng, zipf, time.Time{})
+				}
+			}(w)
+		}
+	} else {
+		// Open loop: the pacer emits scheduled arrival times; a full
+		// queue means the server has fallen behind the target rate, and
+		// the dropped arrival is an error, not a silent omission.
+		sched := make(chan time.Time, hv.workers*4)
+		for w := 0; w < hv.workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(hv.seed + int64(hv.phase*1000+w)))
+				zipf := rand.NewZipf(rng, serveZipfS, 1, uint64(hv.n-1))
+				for at := range sched {
+					work(rng, zipf, at)
+				}
+			}(w)
+		}
+		interval := time.Duration(float64(time.Second) / rate)
+		for at := time.Now(); at.Before(deadline); at = at.Add(interval) {
+			if wait := time.Until(at); wait > 0 {
+				time.Sleep(wait)
+			}
+			select {
+			case sched <- at:
+			default:
+				errors.Add(1)
+			}
+		}
+		close(sched)
+	}
+	wg.Wait()
+	close(stop)
+	updWG.Wait()
+	elapsed := time.Since(t0)
+
+	snap := lat.Snapshot()
+	row := ServeRow{
+		Mode:      mode,
+		Workers:   hv.workers,
+		TargetQPS: rate,
+		Duration:  elapsed,
+		Requests:  requests.Load(),
+		Queries:   queries.Load(),
+		Errors:    errors.Load(),
+		Updates:   updates.Load(),
+		Goodput:   float64(requests.Load()) / elapsed.Seconds(),
+		QueryRate: float64(queries.Load()) / elapsed.Seconds(),
+		Mean:      time.Duration(snap.Mean()),
+		P50:       time.Duration(snap.Quantile(0.5)),
+		P99:       time.Duration(snap.Quantile(0.99)),
+		P999:      time.Duration(snap.Quantile(0.999)),
+	}
+	return row
+}
+
+// doRequest draws one request from the traffic mix and executes it,
+// returning the number of queries it carried.
+func (hv *serveHarness) doRequest(rng *rand.Rand, zipf *rand.Zipf) (int, error) {
+	switch p := rng.Intn(1000); {
+	case p < serveMixTopK:
+		return 1, hv.doTopK(int(zipf.Uint64()))
+	case p < serveMixBatch:
+		var buf bytes.Buffer
+		buf.WriteString(`{"queries":[`)
+		for i := 0; i < serveBatchSize; i++ {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, `{"q":%d,"k":%d}`, zipf.Uint64(), serveK)
+		}
+		buf.WriteString(`]}`)
+		return serveBatchSize, hv.post("/topk/batch", &buf)
+	default:
+		u := rng.Intn(hv.n)
+		return 1, hv.get(fmt.Sprintf("/proximity?q=%d&u=%d", zipf.Uint64(), u))
+	}
+}
+
+func (hv *serveHarness) doTopK(q int) error {
+	return hv.get(fmt.Sprintf("/topk?q=%d&k=%d", q, serveK))
+}
+
+// runUpdater applies one small graph delta roughly every second: a
+// fresh node plus two edges tying it into the graph, so deltas never
+// collide and each one exercises the incremental refactorization and
+// epoch-swap path under live query load.
+func (hv *serveHarness) runUpdater(stop <-chan struct{}, updates, errors *atomic.Int64) {
+	rng := rand.New(rand.NewSource(hv.seed + 7919*int64(hv.phase)))
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			newID := hv.n + hv.nextNew
+			body := fmt.Sprintf(`{"addNodes":1,"addEdges":[{"from":%d,"to":%d},{"from":%d,"to":%d}]}`,
+				newID, rng.Intn(hv.n), rng.Intn(hv.n), newID)
+			if err := hv.post("/update", bytes.NewBufferString(body)); err != nil {
+				errors.Add(1)
+				continue
+			}
+			hv.nextNew++
+			updates.Add(1)
+		}
+	}
+}
+
+func (hv *serveHarness) get(path string) error {
+	resp, err := hv.hc.Get(hv.base + path)
+	if err != nil {
+		return err
+	}
+	return drain(resp)
+}
+
+func (hv *serveHarness) post(path string, body io.Reader) error {
+	resp, err := hv.hc.Post(hv.base+path, "application/json", body)
+	if err != nil {
+		return err
+	}
+	return drain(resp)
+}
+
+// drain consumes the body (so the connection is reused) and folds the
+// status into the error result.
+func drain(resp *http.Response) error {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// WriteServeRows prints the serve-load table.
+func WriteServeRows(w io.Writer, rows []ServeRow) {
+	fmt.Fprintf(w, "%-7s %8s %10s %9s %8s %7s %4s %10s %10s %10s %10s\n",
+		"mode", "workers", "targetQPS", "goodput", "queries", "errors", "upd", "p50", "p99", "p999", "mean")
+	for _, r := range rows {
+		target := "-"
+		if r.TargetQPS > 0 {
+			target = fmt.Sprintf("%.0f", r.TargetQPS)
+		}
+		fmt.Fprintf(w, "%-7s %8d %10s %8.0f/s %8d %7d %4d %10v %10v %10v %10v\n",
+			r.Mode, r.Workers, target, r.Goodput, r.Queries, r.Errors, r.Updates,
+			r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+			r.P999.Round(time.Microsecond), r.Mean.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+// Hand-rolled Prometheus text exposition (version 0.0.4). The format
+// is small enough that a writer with three verbs — metric, histogram,
+// header — covers everything the server exports, and carrying no
+// client-library dependency keeps the module std-only.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// expositionOctaves picks the exported histogram bounds: one `le` per
+// power of two from 2^10 ns (~1 µs) to 2^34 ns (~17 s). Each bound is
+// an exact internal bucket boundary, so the cumulative counts are
+// exact, and 25 buckets keeps a full scrape small while the internal
+// 8-sub-bucket resolution still backs the /statz quantiles.
+const (
+	minExpOctave = 10
+	maxExpOctave = 34
+)
+
+// PromWriter serializes metrics in the Prometheus text format. Write
+// errors stick: the first one is retained and later calls no-op, so
+// callers check Err once at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...interface{}) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Header emits the HELP and TYPE lines for one metric family. typ is
+// "counter", "gauge" or "histogram".
+func (p *PromWriter) Header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Metric emits one sample line. labels may be nil.
+func (p *PromWriter) Metric(name string, labels []Label, value float64) {
+	p.printf("%s%s %s\n", name, formatLabels(labels), formatValue(value))
+}
+
+// Histogram emits one histogram series — cumulative `le` buckets at
+// power-of-two bounds, +Inf, _sum and _count — from a snapshot.
+// Bucket bounds are seconds, matching Prometheus convention for
+// duration histograms.
+func (p *PromWriter) Histogram(name string, labels []Label, s Snapshot) {
+	// The le label is appended onto a private copy: appending onto the
+	// caller's slice could clobber its spare capacity.
+	bl := make([]Label, len(labels)+1)
+	copy(bl, labels)
+	cum := uint64(0)
+	next := 0 // first internal bucket not yet folded into cum
+	for oct := minExpOctave; oct <= maxExpOctave; oct++ {
+		boundNS := int64(1) << oct
+		idx := bucketIndex(boundNS)
+		for ; next <= idx && next < len(s.Counts); next++ {
+			cum += s.Counts[next]
+		}
+		bl[len(labels)] = Label{"le", formatValue(float64(boundNS) / 1e9)}
+		p.printf("%s_bucket%s %d\n", name, formatLabels(bl), cum)
+	}
+	bl[len(labels)] = Label{"le", "+Inf"}
+	p.printf("%s_bucket%s %d\n", name, formatLabels(bl), s.Count)
+	p.printf("%s_sum%s %s\n", name, formatLabels(labels), formatValue(float64(s.SumNS)/1e9))
+	p.printf("%s_count%s %d\n", name, formatLabels(labels), s.Count)
+}
+
+// formatValue renders a float the exposition parser accepts: %g gives
+// the shortest round-trippable form, with scientific notation where
+// needed — both legal exposition floats.
+func formatValue(v float64) string { return fmt.Sprintf("%g", v) }
+
+// formatLabels renders a label set ({} omitted when empty), escaping
+// values per the exposition format.
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the exposition golden file")
+
+// goldenExposition builds a deterministic metric document: fixed
+// counter/gauge values plus a histogram fed a fixed value sequence.
+func goldenExposition() string {
+	var h Histogram
+	for _, d := range []time.Duration{
+		120 * time.Microsecond, 340 * time.Microsecond, 1200 * time.Microsecond,
+		2 * time.Millisecond, 45 * time.Millisecond, 990 * time.Millisecond,
+	} {
+		h.Observe(d)
+	}
+	var buf bytes.Buffer
+	w := NewPromWriter(&buf)
+	w.Header("kdash_http_requests_total", "HTTP requests by endpoint and status code.", "counter")
+	w.Metric("kdash_http_requests_total", []Label{{"endpoint", "topk"}, {"code", "200"}}, 42)
+	w.Metric("kdash_http_requests_total", []Label{{"endpoint", "topk"}, {"code", "400"}}, 3)
+	w.Header("kdash_http_in_flight_requests", "Requests currently being served.", "gauge")
+	w.Metric("kdash_http_in_flight_requests", nil, 2)
+	w.Header("kdash_cache_hit_ratio", "Proximity-vector cache hit ratio.", "gauge")
+	w.Metric("kdash_cache_hit_ratio", nil, 0.8125)
+	w.Header("kdash_http_request_duration_seconds", "Request latency.", "histogram")
+	w.Histogram("kdash_http_request_duration_seconds", []Label{{"endpoint", "topk"}}, h.Snapshot())
+	w.Header("kdash_escapes", `Help with a backslash \ in it.`, "gauge")
+	w.Metric("kdash_escapes", []Label{{"path", `a"b\c` + "\nd"}}, 1)
+	return buf.String()
+}
+
+// TestExpositionGolden pins the exact bytes of the Prometheus text
+// format the writer produces. Regenerate with -update-golden after a
+// deliberate format change.
+func TestExpositionGolden(t *testing.T) {
+	got := goldenExposition()
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramExpositionExact: the cumulative le counts must be exact
+// — every observation ≤ a bound is counted under that bound, nothing
+// more.
+func TestHistogramExpositionExact(t *testing.T) {
+	var h Histogram
+	values := []int64{1 << 10, (1 << 10) + 1, 1 << 20, (1 << 20) + 1, 1 << 30, 5 << 30}
+	for _, v := range values {
+		h.ObserveNS(v)
+	}
+	var buf bytes.Buffer
+	w := NewPromWriter(&buf)
+	w.Histogram("m", nil, h.Snapshot())
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// At le = 2^10/1e9 exactly one value (1<<10 itself) must be counted:
+	// the +1 neighbour sits in the next bucket.
+	wantLines := map[string]string{
+		`m_bucket{le="1.024e-06"} `:   "1",
+		`m_bucket{le="0.001048576"} `: "3", // both 2^10s and 2^20
+		`m_bucket{le="+Inf"} `:        "6",
+		"m_count ":                    "6",
+	}
+	text := buf.String()
+	for prefix, val := range wantLines {
+		found := false
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, prefix) {
+				found = true
+				if got := strings.TrimPrefix(line, prefix); got != val {
+					t.Errorf("%s= %s, want %s", prefix, got, val)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no line with prefix %q in:\n%s", prefix, text)
+		}
+	}
+}

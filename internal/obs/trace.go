@@ -1,0 +1,77 @@
+package obs
+
+// Per-query tracing. A QueryTrace is threaded (by pointer, opt-in)
+// from the HTTP layer through the solver seams: the sharded push
+// records one SolveStep per shard solve plus the residual-bound
+// trajectory, the monolithic tree search records phase timings. A nil
+// trace pointer is the fast path everywhere — recording code is gated
+// on it, so disabled queries pay one predictable branch and zero
+// allocations.
+
+// SolveStep is one shard solve inside a traced query, in execution
+// order.
+type SolveStep struct {
+	// Shard is the solved shard.
+	Shard int
+	// ResidualBefore is the total pending residual mass across all
+	// shards when this solve was scheduled.
+	ResidualBefore float64
+	// MassConsumed is the residual mass this solve absorbed.
+	MassConsumed float64
+	// NodesEvaluated is the solve's support size: proximity entries
+	// actually computed.
+	NodesEvaluated int
+	// DurationNS is the solve's wall clock.
+	DurationNS int64
+}
+
+// QueryTrace records one query's execution structure. Instances are
+// pooled by the HTTP layer; Reset prepares one for reuse keeping its
+// slice capacity.
+type QueryTrace struct {
+	// Steps lists shard solves in schedule order (empty for a
+	// monolithic engine, whose search has no shard granularity).
+	Steps []SolveStep
+	// Residual is the residual-bound trajectory: total pending mass
+	// after each solve. len(Residual) == len(Steps).
+	Residual []float64
+
+	// SolveNS is the push/search phase wall clock; RankNS the top-k
+	// merge phase.
+	SolveNS int64
+	RankNS  int64
+
+	// Solves counts shard solves; ShardsSolved distinct shards solved;
+	// ShardsPruned shards left unsolved with pending inflow.
+	Solves       int
+	ShardsSolved int
+	ShardsPruned int
+	// NodesEvaluated is the summed solve support (proximities computed).
+	NodesEvaluated int
+	// CutMassPruned is the residual mass never processed — the mass the
+	// cut-mass bound proved could not change the answer.
+	CutMassPruned float64
+	// Converged reports whether the push drove the (weighted) residual
+	// under tolerance rather than hitting the solve cap.
+	Converged bool
+	// CacheHit marks answers served by re-ranking a cached proximity
+	// vector; the engine never ran, so every other field is zero.
+	CacheHit bool
+}
+
+// Reset clears the trace for reuse, keeping slice capacity.
+func (t *QueryTrace) Reset() {
+	t.Steps = t.Steps[:0]
+	t.Residual = t.Residual[:0]
+	t.SolveNS, t.RankNS = 0, 0
+	t.Solves, t.ShardsSolved, t.ShardsPruned, t.NodesEvaluated = 0, 0, 0, 0
+	t.CutMassPruned = 0
+	t.Converged = false
+	t.CacheHit = false
+}
+
+// AddStep appends one shard solve and its post-solve residual bound.
+func (t *QueryTrace) AddStep(s SolveStep, residualAfter float64) {
+	t.Steps = append(t.Steps, s)
+	t.Residual = append(t.Residual, residualAfter)
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 
@@ -86,9 +87,11 @@ func (h *Handler) topKBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	h.qBatchQueries.Add(int64(len(queries)))
 
-	results, stats, err := st.runBatch(queries)
+	results, stats, err := st.runBatch(r.Context(), queries)
 	if err != nil {
-		h.internalError(w, err)
+		if !h.cancelled(w, err) {
+			h.internalError(w, err)
+		}
 		return
 	}
 	resp := batchResponse{Count: len(queries), Items: make([]topKResponse, len(queries))}
@@ -118,17 +121,22 @@ func (h *Handler) topKBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// runBatch dispatches to the engine's batched path when it has one. It
-// is a method of the epoch snapshot, not the handler, so the whole
-// batch runs against one engine even when an update lands mid-request.
-func (st *engineState) runBatch(queries []core.BatchQuery) ([][]topk.Result, []core.SearchStats, error) {
+// runBatch dispatches to the engine's batched path when it has one,
+// preferring the cancellable variant so a disconnected client stops
+// paying between solve steps. It is a method of the epoch snapshot,
+// not the handler, so the whole batch runs against one engine even
+// when an update lands mid-request.
+func (st *engineState) runBatch(ctx context.Context, queries []core.BatchQuery) ([][]topk.Result, []core.SearchStats, error) {
+	if st.batchCtx != nil {
+		return st.batchCtx.SearchBatchCtx(ctx, queries)
+	}
 	if st.batch != nil {
 		return st.batch.SearchBatch(queries)
 	}
 	results := make([][]topk.Result, len(queries))
 	stats := make([]core.SearchStats, len(queries))
 	for i, bq := range queries {
-		rs, s, err := st.engine.Search(bq.Q, core.SearchOptions{K: bq.K, Exclude: bq.Exclude})
+		rs, s, err := st.engine.Search(bq.Q, core.SearchOptions{K: bq.K, Exclude: bq.Exclude, Ctx: ctx})
 		if err != nil {
 			return nil, nil, err
 		}

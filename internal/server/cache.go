@@ -18,11 +18,13 @@ import (
 // new epoch. Guarded by one mutex: a hit is a map lookup plus a list
 // splice, far below the cost of the query it saves.
 type vectorCache struct {
-	mu    sync.Mutex
-	cap   int
-	epoch int
-	ll    *list.List // front = most recently used; values are *cacheEntry
-	m     map[int]*list.Element
+	mu        sync.Mutex
+	cap       int
+	epoch     int
+	ll        *list.List // front = most recently used; values are *cacheEntry
+	m         map[int]*list.Element
+	bytes     int64 // approximate payload held: 8 bytes per cached float64
+	evictions int64 // entries dropped by LRU pressure (epoch flushes excluded)
 }
 
 type cacheEntry struct {
@@ -70,14 +72,20 @@ func (c *vectorCache) put(q int, vec []float64, epoch int) {
 	}
 	if el, ok := c.m[q]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).vec = vec
+		e := el.Value.(*cacheEntry)
+		c.bytes += 8 * int64(len(vec)-len(e.vec))
+		e.vec = vec
 		return
 	}
 	c.m[q] = c.ll.PushFront(&cacheEntry{q: q, vec: vec})
+	c.bytes += 8 * int64(len(vec))
 	for c.ll.Len() > c.cap {
 		last := c.ll.Back()
 		c.ll.Remove(last)
-		delete(c.m, last.Value.(*cacheEntry).q)
+		e := last.Value.(*cacheEntry)
+		delete(c.m, e.q)
+		c.bytes -= 8 * int64(len(e.vec))
+		c.evictions++
 	}
 }
 
@@ -96,12 +104,21 @@ func (c *vectorCache) flushLocked(epoch int) {
 	c.epoch = epoch
 	c.ll.Init()
 	clear(c.m)
+	c.bytes = 0
+}
+
+// stats reports the cache's current footprint and cumulative LRU
+// evictions (hit/miss counters live on the handler, which sees lookups
+// the cache itself never does).
+func (c *vectorCache) stats() (entries int, bytes, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes, c.evictions
 }
 
 func (c *vectorCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n, _, _ := c.stats()
+	return n
 }
 
 // rankVector extracts the top-k answer from a full proximity vector,

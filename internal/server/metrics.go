@@ -1,0 +1,161 @@
+package server
+
+// GET /metrics: the Prometheus text exposition (format 0.0.4) of the
+// same counters /statz serves as JSON, hand-rolled through
+// obs.PromWriter so the server stays dependency-free. The two surfaces
+// read the same underlying counters, so they agree at any quiet
+// instant; docs/OBSERVABILITY.md is the field-by-field reference and
+// carries example PromQL.
+
+import (
+	"net/http"
+	"strconv"
+
+	"kdash/internal/obs"
+)
+
+// metrics handles GET /metrics.
+func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	st := h.snap()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	pw := obs.NewPromWriter(w)
+
+	// HTTP surface.
+	pw.Header("kdash_http_requests_total", "Completed HTTP requests by endpoint and status code.", "counter")
+	for _, name := range endpointNames {
+		em := h.endpoints[name]
+		for i, code := range statusCodes {
+			if v := em.codes[i].Load(); v > 0 {
+				pw.Metric("kdash_http_requests_total",
+					[]obs.Label{{Name: "endpoint", Value: name}, {Name: "code", Value: strconv.Itoa(code)}},
+					float64(v))
+			}
+		}
+	}
+	pw.Header("kdash_http_in_flight_requests", "Requests currently being served (includes this scrape).", "gauge")
+	pw.Metric("kdash_http_in_flight_requests", nil, float64(h.inFlight.Load()))
+	pw.Header("kdash_http_request_duration_seconds", "Request latency by endpoint.", "histogram")
+	for _, name := range endpointNames {
+		snap := h.endpoints[name].lat.Snapshot()
+		if snap.Count > 0 {
+			pw.Histogram("kdash_http_request_duration_seconds",
+				[]obs.Label{{Name: "endpoint", Value: name}}, snap)
+		}
+	}
+	pw.Header("kdash_http_errors_total", "Error responses by kind (panics also count as internal).", "counter")
+	pw.Metric("kdash_http_errors_total", []obs.Label{{Name: "kind", Value: "badRequest"}}, float64(h.qBadRequest.Value()))
+	pw.Metric("kdash_http_errors_total", []obs.Label{{Name: "kind", Value: "internal"}}, float64(h.qInternal.Value()))
+	pw.Metric("kdash_http_errors_total", []obs.Label{{Name: "kind", Value: "panic"}}, float64(h.qPanics.Value()))
+	pw.Header("kdash_queries_cancelled_total", "Queries abandoned mid-solve because the client went away.", "counter")
+	pw.Metric("kdash_queries_cancelled_total", nil, float64(h.qCancelled.Value()))
+
+	// Engine work, summed over successful queries.
+	pw.Header("kdash_engine_nodes_visited_total", "Nodes visited across all queries.", "counter")
+	pw.Metric("kdash_engine_nodes_visited_total", nil, float64(h.visited.Value()))
+	pw.Header("kdash_engine_proximity_computations_total", "Exact proximity values computed across all queries.", "counter")
+	pw.Metric("kdash_engine_proximity_computations_total", nil, float64(h.proxComps.Value()))
+	pw.Header("kdash_engine_terminated_early_total", "Queries answered with pruning engaged.", "counter")
+	pw.Metric("kdash_engine_terminated_early_total", nil, float64(h.terminated.Value()))
+
+	// Update surface.
+	pw.Header("kdash_updates_applied_total", "Graph delta batches applied.", "counter")
+	pw.Metric("kdash_updates_applied_total", nil, float64(h.qUpdates.Value()))
+	pw.Header("kdash_update_shards_rebuilt_total", "Shards refactorized by updates.", "counter")
+	pw.Metric("kdash_update_shards_rebuilt_total", nil, float64(h.updShards.Value()))
+	pw.Header("kdash_update_repartitions_total", "Updates that triggered a re-partition.", "counter")
+	pw.Metric("kdash_update_repartitions_total", nil, float64(h.updReparts.Value()))
+	pw.Header("kdash_update_edge_ops_total", "Edge additions and removals applied.", "counter")
+	pw.Metric("kdash_update_edge_ops_total", nil, float64(h.updEdges.Value()))
+	pw.Header("kdash_update_nodes_added_total", "Nodes inserted by updates.", "counter")
+	pw.Metric("kdash_update_nodes_added_total", nil, float64(h.updNodes.Value()))
+
+	// Process and index gauges.
+	pw.Header("kdash_epoch", "Serving engine epoch (bumped by each applied update).", "gauge")
+	pw.Metric("kdash_epoch", nil, float64(st.epoch))
+	pw.Header("kdash_index_nodes", "Nodes in the serving index.", "gauge")
+	pw.Metric("kdash_index_nodes", nil, float64(st.engine.N()))
+	pw.Header("kdash_process_resident_bytes", "OS-reported resident set (0 where unsupported).", "gauge")
+	pw.Metric("kdash_process_resident_bytes", nil, float64(residentBytes()))
+
+	if h.cache != nil {
+		hits, misses := h.cacheHits.Value(), h.cacheMisses.Value()
+		entries, bytes, evictions := h.cache.stats()
+		pw.Header("kdash_cache_hits_total", "Proximity-vector cache hits.", "counter")
+		pw.Metric("kdash_cache_hits_total", nil, float64(hits))
+		pw.Header("kdash_cache_misses_total", "Proximity-vector cache misses.", "counter")
+		pw.Metric("kdash_cache_misses_total", nil, float64(misses))
+		pw.Header("kdash_cache_evictions_total", "Entries evicted by LRU pressure (epoch flushes excluded).", "counter")
+		pw.Metric("kdash_cache_evictions_total", nil, float64(evictions))
+		pw.Header("kdash_cache_entries", "Vectors currently cached.", "gauge")
+		pw.Metric("kdash_cache_entries", nil, float64(entries))
+		pw.Header("kdash_cache_bytes", "Approximate bytes held by cached vectors.", "gauge")
+		pw.Metric("kdash_cache_bytes", nil, float64(bytes))
+		if total := hits + misses; total > 0 {
+			pw.Header("kdash_cache_hit_ratio", "Cache hits over lookups since start.", "gauge")
+			pw.Metric("kdash_cache_hit_ratio", nil, float64(hits)/float64(total))
+		}
+	}
+
+	if s, ok := st.engine.(Statser); ok {
+		writeEngineMetrics(pw, s.Statz())
+	}
+	_ = pw.Err() // headers are sent; a broken scrape connection has no recourse
+}
+
+// writeEngineMetrics projects the engine's Statz document onto
+// Prometheus series. Only the sharded shape carries per-shard series;
+// unknown or missing fields are skipped, never guessed, so any engine
+// with a Statz stays scrapeable.
+func writeEngineMetrics(pw *obs.PromWriter, doc map[string]interface{}) {
+	if v, ok := statInt(doc["shards"]); ok {
+		pw.Header("kdash_index_shards", "Shards in the serving index.", "gauge")
+		pw.Metric("kdash_index_shards", nil, float64(v))
+	}
+	if v, ok := statInt(doc["shardsOpened"]); ok {
+		pw.Header("kdash_index_shards_opened", "Shards traffic has opened (lazily mapped shards open on first solve).", "gauge")
+		pw.Metric("kdash_index_shards_opened", nil, float64(v))
+	}
+	if v, ok := statInt(doc["mappedBytes"]); ok {
+		pw.Header("kdash_index_mapped_bytes", "Bytes of shard files currently mapped or parsed.", "gauge")
+		pw.Metric("kdash_index_mapped_bytes", nil, float64(v))
+	}
+	if v, ok := statInt(doc["solves"]); ok {
+		pw.Header("kdash_shard_solves_total_sum", "Shard factor solves across all queries this epoch (resets on update swap).", "counter")
+		pw.Metric("kdash_shard_solves_total_sum", nil, float64(v))
+	}
+	perShard, ok := doc["perShard"].([]map[string]interface{})
+	if !ok {
+		return
+	}
+	pw.Header("kdash_shard_opened", "Whether the shard's backing file is open (1) or still deferred (0).", "gauge")
+	for i, sh := range perShard {
+		opened := 0.0
+		if b, ok := sh["opened"].(bool); ok && b {
+			opened = 1
+		}
+		pw.Metric("kdash_shard_opened", []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}, opened)
+	}
+	pw.Header("kdash_shard_solves_total", "Factor solves per shard this epoch (resets on update swap).", "counter")
+	for i, sh := range perShard {
+		if v, ok := statInt(sh["solves"]); ok {
+			pw.Metric("kdash_shard_solves_total", []obs.Label{{Name: "shard", Value: strconv.Itoa(i)}}, float64(v))
+		}
+	}
+}
+
+// statInt folds the integer shapes a Statz document actually contains.
+func statInt(v interface{}) (int64, bool) {
+	switch x := v.(type) {
+	case int:
+		return int64(x), true
+	case int64:
+		return x, true
+	case float64:
+		return int64(x), true
+	}
+	return 0, false
+}

@@ -21,9 +21,11 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"kdash/internal/core"
+	"kdash/internal/obs"
 	"kdash/internal/procmem"
 	"kdash/internal/topk"
 )
@@ -52,6 +55,14 @@ type Engine interface {
 // sequential fallback, so /topk/batch works against any Engine.
 type BatchEngine interface {
 	SearchBatch(queries []core.BatchQuery) ([][]topk.Result, []core.SearchStats, error)
+}
+
+// BatchCtxEngine is the cancellable refinement of BatchEngine (both
+// index shapes implement it): a cancelled context abandons the batch
+// between its internal solve steps instead of running it to the end
+// for a client that already hung up.
+type BatchCtxEngine interface {
+	SearchBatchCtx(ctx context.Context, queries []core.BatchQuery) ([][]topk.Result, []core.SearchStats, error)
 }
 
 // Statser is implemented by engines that expose build-time observability
@@ -105,6 +116,13 @@ func WithOpenInfo(d time.Duration, mode string) Option {
 	}
 }
 
+// WithRequestLog enables structured request logging: one line per
+// completed request (endpoint, status, latency, trace id) through the
+// given logger. A nil logger leaves logging off.
+func WithRequestLog(l *slog.Logger) Option {
+	return func(h *Handler) { h.logger = l }
+}
+
 // engineState is one immutable epoch of the serving engine: the engine
 // plus its optional capabilities, resolved once per swap. Every request
 // loads the pointer exactly once and runs entirely against that
@@ -112,10 +130,11 @@ func WithOpenInfo(d time.Duration, mode string) Option {
 // request two different indexes — the copy-on-swap epoch scheme that
 // makes POST /update safe against pooled in-flight queries.
 type engineState struct {
-	engine Engine
-	batch  BatchEngine // nil: fall back to sequential Search
-	upd    Updatable   // nil: static engine, /update answers 501
-	epoch  int
+	engine   Engine
+	batch    BatchEngine    // nil: fall back to sequential Search
+	batchCtx BatchCtxEngine // nil: batch runs without cancellation checks
+	upd      Updatable      // nil: static engine, /update answers 501
+	epoch    int
 }
 
 // Handler serves queries against one engine.
@@ -127,7 +146,15 @@ type Handler struct {
 	maxBatch int
 	cache    *vectorCache // nil: caching disabled
 	openTime time.Duration
-	openMode string // how the index was brought up (WithOpenInfo)
+	openMode string       // how the index was brought up (WithOpenInfo)
+	logger   *slog.Logger // nil: request logging off (WithRequestLog)
+
+	// Request telemetry (obs.go): per-endpoint latency histograms and
+	// status counters, the in-flight gauge, and the pooled trace
+	// recorders ?trace=1 requests borrow.
+	endpoints map[string]*endpointMetrics
+	inFlight  atomic.Int64
+	tracePool sync.Pool
 
 	// Cumulative counters, expvar-backed so they are atomic and cheap on
 	// the hot path. They are per-handler (not globally published): tests
@@ -140,6 +167,7 @@ type Handler struct {
 	qBadRequest   expvar.Int // 400s: client-side input problems
 	qInternal     expvar.Int // 500s: engine failures and panics
 	qPanics       expvar.Int // recovered panics (also counted in qInternal)
+	qCancelled    expvar.Int // 499s: client went away mid-solve
 	visited       expvar.Int
 	proxComps     expvar.Int
 	terminated    expvar.Int
@@ -174,13 +202,25 @@ func New(engine Engine, opts ...Option) *Handler {
 	for _, o := range opts {
 		o(h)
 	}
-	h.mux.HandleFunc("/topk", h.topK)
-	h.mux.HandleFunc("/topk/batch", h.topKBatch)
-	h.mux.HandleFunc("/personalized", h.personalized)
-	h.mux.HandleFunc("/proximity", h.proximity)
-	h.mux.HandleFunc("/update", h.update)
-	h.mux.HandleFunc("/healthz", h.health)
-	h.mux.HandleFunc("/statz", h.statz)
+	h.endpoints = make(map[string]*endpointMetrics, len(endpointNames))
+	for _, name := range endpointNames {
+		h.endpoints[name] = &endpointMetrics{}
+	}
+	for _, ep := range []struct {
+		path, name string
+		fn         http.HandlerFunc
+	}{
+		{"/topk", "topk", h.topK},
+		{"/topk/batch", "batch", h.topKBatch},
+		{"/personalized", "personalized", h.personalized},
+		{"/proximity", "proximity", h.proximity},
+		{"/update", "update", h.update},
+		{"/healthz", "healthz", h.health},
+		{"/statz", "statz", h.statz},
+		{"/metrics", "metrics", h.metrics},
+	} {
+		h.mux.HandleFunc(ep.path, h.instrument(ep.name, ep.fn))
+	}
 	return h
 }
 
@@ -190,6 +230,9 @@ func newEngineState(engine Engine, epoch int) *engineState {
 	st := &engineState{engine: engine, epoch: epoch}
 	if be, ok := engine.(BatchEngine); ok {
 		st.batch = be
+	}
+	if bc, ok := engine.(BatchCtxEngine); ok {
+		st.batchCtx = bc
 	}
 	if u, ok := engine.(Updatable); ok {
 		st.upd = u
@@ -265,6 +308,7 @@ type topKResponse struct {
 	Results    []resultJSON `json:"results"`
 	Stats      statsJSON    `json:"stats"`
 	Cached     bool         `json:"cached,omitempty"`
+	Trace      *traceJSON   `json:"trace,omitempty"` // ?trace=1 only
 }
 
 // nodeParam parses query parameter name as a node id and range-checks it
@@ -325,41 +369,58 @@ func (h *Handler) topK(w http.ResponseWriter, r *http.Request) {
 		h.badRequest(w, "%v", err)
 		return
 	}
+	opt := core.SearchOptions{K: k, Exclude: exclude, Ctx: r.Context()}
+	var tr *obs.QueryTrace
+	if wantTrace(r) {
+		tr = h.getTrace()
+		defer h.putTrace(tr)
+		opt.Trace = tr
+	}
 	if h.cache != nil {
-		vec, ok := h.cachedVector(w, st, q)
+		// The cached path answers from a full proximity vector, so a
+		// trace block carries only the cache outcome — there is no push
+		// to trace on a hit, and the vector fill on a miss runs outside
+		// the traced search seam.
+		vec, hit, ok := h.cachedVector(w, st, q)
 		if !ok {
 			return // miss that failed; already reported
 		}
-		writeResults(w, k, rankVector(vec, k, exclude), core.SearchStats{}, true)
+		if tr != nil {
+			tr.CacheHit = hit
+		}
+		writeResults(w, k, rankVector(vec, k, exclude), core.SearchStats{}, true, tr)
 		return
 	}
-	results, stats, err := st.engine.Search(q, core.SearchOptions{K: k, Exclude: exclude})
+	results, stats, err := st.engine.Search(q, opt)
 	if err != nil {
-		h.internalError(w, err)
+		if !h.cancelled(w, err) {
+			h.internalError(w, err)
+		}
 		return
 	}
 	h.countWork(stats)
-	writeResults(w, k, results, stats, false)
+	writeResults(w, k, results, stats, false, tr)
 }
 
 // cachedVector returns q's proximity vector through the LRU, computing
-// and inserting it on a miss. The false return means the engine failed
-// and the error response has been written. Entries are tagged with the
-// epoch they were computed under, and /update purges the cache on swap,
-// so a hit never serves a stale epoch's vector.
-func (h *Handler) cachedVector(w http.ResponseWriter, st *engineState, q int) ([]float64, bool) {
+// and inserting it on a miss; hit reports which case served it. The
+// false ok return means the engine failed and the error response has
+// been written. Entries are tagged with the epoch they were computed
+// under, and /update purges the cache on swap, so a hit never serves a
+// stale epoch's vector.
+func (h *Handler) cachedVector(w http.ResponseWriter, st *engineState, q int) (vec []float64, hit, ok bool) {
 	if vec, ok := h.cache.get(q, st.epoch); ok {
 		h.cacheHits.Add(1)
-		return vec, true
+		return vec, true, true
 	}
 	h.cacheMisses.Add(1)
 	vec, err := st.engine.ProximityVector(q)
 	if err != nil {
 		h.internalError(w, err)
-		return nil, false
+		return nil, false, false
 	}
 	h.cache.put(q, vec, st.epoch)
-	return vec, true
+	return vec, false, true
 }
 
 // personalizedRequest is the POST /personalized payload.
@@ -412,7 +473,7 @@ func (h *Handler) personalized(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.countWork(stats)
-	writeResults(w, req.K, results, stats, false)
+	writeResults(w, req.K, results, stats, false, nil)
 }
 
 // proximity handles GET /proximity?q=<node>&u=<node>.
@@ -461,6 +522,7 @@ func (h *Handler) health(w http.ResponseWriter, r *http.Request) {
 		"nodes":   st.engine.N(),
 		"restart": st.engine.Restart(),
 		"epoch":   st.epoch,
+		"build":   buildInfo(),
 	})
 }
 
@@ -493,6 +555,8 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 			"badRequest":   h.qBadRequest.Value(),
 			"internal":     h.qInternal.Value(),
 			"panics":       h.qPanics.Value(),
+			"cancelled":    h.qCancelled.Value(),
+			"inFlight":     h.inFlight.Load(), // includes this /statz request
 		},
 		"work": map[string]int64{
 			"visited":               h.visited.Value(),
@@ -515,11 +579,17 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 			"mode":        h.openMode,
 		}
 	}
+	if lat := h.latencyStatz(); len(lat) > 0 {
+		doc["latency"] = lat
+	}
 	if h.cache != nil {
+		entries, bytes, evictions := h.cache.stats()
 		doc["cache"] = map[string]int64{
-			"hits":    h.cacheHits.Value(),
-			"misses":  h.cacheMisses.Value(),
-			"entries": int64(h.cache.len()),
+			"hits":      h.cacheHits.Value(),
+			"misses":    h.cacheMisses.Value(),
+			"entries":   int64(entries),
+			"bytes":     bytes,
+			"evictions": evictions,
 		}
 	}
 	if s, ok := st.engine.(Statser); ok {
@@ -528,10 +598,31 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, doc)
 }
 
+// latencyStatz summarises each endpoint's latency histogram for the
+// /statz "latency" block: request count, mean and tail quantiles in
+// microseconds. Endpoints that have served nothing are omitted.
+func (h *Handler) latencyStatz() map[string]interface{} {
+	lat := map[string]interface{}{}
+	for _, name := range endpointNames {
+		s := h.endpoints[name].lat.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		lat[name] = map[string]interface{}{
+			"count":      s.Count,
+			"meanMicros": s.Mean() / 1e3,
+			"p50Micros":  s.Quantile(0.5) / 1e3,
+			"p99Micros":  s.Quantile(0.99) / 1e3,
+			"p999Micros": s.Quantile(0.999) / 1e3,
+		}
+	}
+	return lat
+}
+
 // writeResults writes one answer set. The wire k is the count actually
 // returned, not the requested one, so clients indexing results cannot
 // run off the end when the graph yields fewer answers.
-func writeResults(w http.ResponseWriter, requestedK int, results []topk.Result, stats core.SearchStats, cached bool) {
+func writeResults(w http.ResponseWriter, requestedK int, results []topk.Result, stats core.SearchStats, cached bool, tr *obs.QueryTrace) {
 	resp := topKResponse{
 		K:          len(results),
 		RequestedK: requestedK,
@@ -542,6 +633,9 @@ func writeResults(w http.ResponseWriter, requestedK int, results []topk.Result, 
 			Terminated:            stats.Terminated,
 		},
 		Cached: cached,
+	}
+	if tr != nil {
+		resp.Trace = toTraceJSON(tr)
 	}
 	for i, r := range results {
 		resp.Results[i] = resultJSON{Node: r.Node, Score: r.Score}

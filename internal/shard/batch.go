@@ -12,6 +12,7 @@ package shard
 // accumulation order) differs from running the queries one at a time.
 
 import (
+	"context"
 	"fmt"
 
 	"kdash/internal/core"
@@ -49,7 +50,9 @@ func (bs BatchStats) Sharing() float64 {
 // inflation: queries were dragged into solves of shards where they held
 // negligible early mass, then re-solved them after their real inflow
 // arrived.
-func (sx *ShardedIndex) pushBatch(seeds []map[int]float64) ([][][]float64, BatchStats) {
+// A cancelled context (checked once per block solve, never per node or
+// per lane) abandons the whole batch with the context's error.
+func (sx *ShardedIndex) pushBatch(ctx context.Context, seeds []map[int]float64) ([][][]float64, BatchStats, error) {
 	nb := len(seeds)
 	s := len(sx.parts)
 	bs := BatchStats{PerQuery: make([]QueryStats, nb)}
@@ -125,6 +128,11 @@ func (sx *ShardedIndex) pushBatch(seeds []map[int]float64) ([][][]float64, Batch
 		}
 		if !active || bs.BlockSolves >= maxSolves {
 			break
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, bs, fmt.Errorf("shard: batch cancelled after %d block solves: %w", bs.BlockSolves, err)
+			}
 		}
 		best, bestMass := -1, 0.0
 		for si := 0; si < s; si++ {
@@ -246,7 +254,7 @@ func (sx *ShardedIndex) pushBatch(seeds []map[int]float64) ([][][]float64, Batch
 			}
 		}
 	}
-	return x, bs
+	return x, bs, nil
 }
 
 // TopKBatch answers top-k for a block of query nodes through the shared
@@ -257,10 +265,10 @@ func (sx *ShardedIndex) TopKBatch(qs []int, k int) ([][]topk.Result, BatchStats,
 	for i, q := range qs {
 		queries[i] = core.BatchQuery{Q: q, K: k}
 	}
-	return sx.searchBatch(queries)
+	return sx.searchBatch(nil, queries)
 }
 
-func (sx *ShardedIndex) searchBatch(queries []core.BatchQuery) ([][]topk.Result, BatchStats, error) {
+func (sx *ShardedIndex) searchBatch(ctx context.Context, queries []core.BatchQuery) ([][]topk.Result, BatchStats, error) {
 	for i, bq := range queries {
 		if bq.Q < 0 || bq.Q >= sx.n {
 			return nil, BatchStats{}, fmt.Errorf("shard: batch query %d: node %d outside [0,%d)", i, bq.Q, sx.n)
@@ -273,7 +281,10 @@ func (sx *ShardedIndex) searchBatch(queries []core.BatchQuery) ([][]topk.Result,
 	for i, bq := range queries {
 		seeds[i] = map[int]float64{bq.Q: sx.c}
 	}
-	xs, bs := sx.pushBatch(seeds)
+	xs, bs, err := sx.pushBatch(ctx, seeds)
+	if err != nil {
+		return nil, bs, err
+	}
 	results := make([][]topk.Result, len(queries))
 	for i, bq := range queries {
 		results[i] = sx.rank(xs[i], bq.K, bq.Exclude)
@@ -285,7 +296,14 @@ func (sx *ShardedIndex) searchBatch(queries []core.BatchQuery) ([][]topk.Result,
 // engine surface, mirroring core.Index.SearchBatch: all queries are
 // validated before any work happens.
 func (sx *ShardedIndex) SearchBatch(queries []core.BatchQuery) ([][]topk.Result, []core.SearchStats, error) {
-	results, bs, err := sx.searchBatch(queries)
+	return sx.SearchBatchCtx(nil, queries)
+}
+
+// SearchBatchCtx is SearchBatch with cancellation: a cancelled context
+// abandons the shared block push between block solves and returns the
+// context's error wrapped with the work done so far.
+func (sx *ShardedIndex) SearchBatchCtx(ctx context.Context, queries []core.BatchQuery) ([][]topk.Result, []core.SearchStats, error) {
+	results, bs, err := sx.searchBatch(ctx, queries)
 	if err != nil {
 		return nil, nil, err
 	}

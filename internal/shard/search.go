@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+	"time"
 
 	"kdash/internal/core"
 	"kdash/internal/topk"
@@ -58,7 +59,7 @@ func (sx *ShardedIndex) pushWeighted(seeds map[int]float64, w []float64) ([][]fl
 	for g, m := range seeds {
 		st.seed(g, m)
 	}
-	qs := st.run(w)
+	qs, _ := st.run(w) // no context on the state: run cannot fail
 	x := st.materialize()
 	sx.putPushState(st)
 	return x, qs
@@ -111,10 +112,10 @@ func (sx *ShardedIndex) rank(x [][]float64, k int, exclude map[int]bool) []topk.
 // agree within QueryTol/c). Results use original node ids, sorted by
 // descending proximity with ties broken by ascending node id.
 func (sx *ShardedIndex) TopK(q, k int) ([]topk.Result, QueryStats, error) {
-	return sx.topK(q, k, nil)
+	return sx.topK(q, k, core.SearchOptions{})
 }
 
-func (sx *ShardedIndex) topK(q, k int, exclude map[int]bool) ([]topk.Result, QueryStats, error) {
+func (sx *ShardedIndex) topK(q, k int, opt core.SearchOptions) ([]topk.Result, QueryStats, error) {
 	var qs QueryStats
 	if q < 0 || q >= sx.n {
 		return nil, qs, fmt.Errorf("shard: query node %d outside [0,%d)", q, sx.n)
@@ -123,19 +124,37 @@ func (sx *ShardedIndex) topK(q, k int, exclude map[int]bool) ([]topk.Result, Que
 		return nil, qs, fmt.Errorf("shard: K must be positive, got %d", k)
 	}
 	st := sx.getPushState()
+	st.ctx, st.tr = opt.Ctx, opt.Trace
+	var tPush time.Time
+	if opt.Trace != nil {
+		tPush = time.Now()
+	}
 	st.seed(q, sx.c)
-	qs = st.run(nil)
-	results := st.rank(k, exclude)
+	qs, err := st.run(nil)
+	if err != nil {
+		sx.putPushState(st)
+		return nil, qs, err
+	}
+	var tRank time.Time
+	if opt.Trace != nil {
+		tRank = time.Now()
+		opt.Trace.SolveNS += tRank.Sub(tPush).Nanoseconds()
+	}
+	results := st.rank(k, opt.Exclude)
+	if opt.Trace != nil {
+		opt.Trace.RankNS += time.Since(tRank).Nanoseconds()
+	}
 	sx.putPushState(st)
 	return results, qs, nil
 }
 
 // Search serves a query through the core.SearchOptions surface so a
-// ShardedIndex is a drop-in engine for internal/server. K and Exclude are
-// honoured; the monolithic ablation knobs (DisablePruning, RandomRoot)
-// have no shard-level counterpart and are ignored.
+// ShardedIndex is a drop-in engine for internal/server. K, Exclude,
+// Ctx (cancellation between shard solves) and Trace (per-query push
+// trace) are honoured; the monolithic ablation knobs (DisablePruning,
+// RandomRoot) have no shard-level counterpart and are ignored.
 func (sx *ShardedIndex) Search(q int, opt core.SearchOptions) ([]topk.Result, core.SearchStats, error) {
-	results, qs, err := sx.topK(q, opt.K, opt.Exclude)
+	results, qs, err := sx.topK(q, opt.K, opt)
 	return results, qs.searchStats(), err
 }
 
@@ -175,7 +194,7 @@ func (sx *ShardedIndex) TopKPersonalized(seeds map[int]float64, k int) ([]topk.R
 	for node, w := range seeds {
 		st.seed(node, sx.c*w/total)
 	}
-	qs = st.run(nil)
+	qs, _ = st.run(nil) // no context on the state: run cannot fail
 	results := st.rank(k, nil)
 	sx.putPushState(st)
 	return results, qs.searchStats(), nil
@@ -266,7 +285,7 @@ func (sx *ShardedIndex) Proximity(q, u int) (float64, error) {
 	}
 	st := sx.getPushState()
 	st.seed(q, sx.c)
-	st.run(sx.pairWeights(sx.home[u]))
+	_, _ = st.run(sx.pairWeights(sx.home[u])) // no context: cannot fail
 	p := 0.0
 	// Untouched state entries are zero by the pool invariant, so the
 	// single entry can be read directly once the shard has been solved.
@@ -285,7 +304,7 @@ func (sx *ShardedIndex) ProximityVector(q int) ([]float64, error) {
 	}
 	st := sx.getPushState()
 	st.seed(q, sx.c)
-	st.run(nil)
+	_, _ = st.run(nil) // no context: cannot fail
 	out := make([]float64, sx.n)
 	for si := range sx.parts {
 		if !st.solved[si] {

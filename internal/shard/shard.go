@@ -271,6 +271,22 @@ type ShardedIndex struct {
 	// immutable afterwards.
 	pairWOnce sync.Once
 	pairW     []atomic.Pointer[[]float64]
+
+	// solveCounts tracks cumulative factor solves per shard — the
+	// traffic-weighted counterpart of shardsOpened, exposed through
+	// Statz (and from there /metrics) so operators can see which
+	// shards queries actually land on. Built lazily like revAdj; the
+	// counters are per-epoch (a successor from Apply starts at zero),
+	// which Prometheus counter semantics tolerate as a reset.
+	solveOnce   sync.Once
+	solveCounts []atomic.Int64
+}
+
+// solveCounters returns the per-shard solve counters, building them on
+// first use.
+func (sx *ShardedIndex) solveCounters() []atomic.Int64 {
+	sx.solveOnce.Do(func() { sx.solveCounts = make([]atomic.Int64, len(sx.parts)) })
+	return sx.solveCounts
 }
 
 // cutTargets returns, per shard, the deduplicated local ids receiving
@@ -648,8 +664,10 @@ func (sx *ShardedIndex) Stats() BuildStats { return sx.stats }
 // traffic, staying put for skewed traffic).
 func (sx *ShardedIndex) Statz() map[string]interface{} {
 	shards := make([]map[string]interface{}, len(sx.parts))
+	counters := sx.solveCounters()
 	opened := 0
 	mappedBytes := 0
+	solves := int64(0)
 	for i, p := range sx.parts {
 		ix := p.tryIndex()
 		if ix != nil {
@@ -657,11 +675,14 @@ func (sx *ShardedIndex) Statz() map[string]interface{} {
 			mappedBytes += ix.MappedBytes()
 		}
 		nnz, _ := p.nnzInverse()
+		sc := counters[i].Load()
+		solves += sc
 		shards[i] = map[string]interface{}{
 			"nodes":      len(p.nodes),
 			"cutEdges":   len(p.cuts),
 			"nnzInverse": nnz,
 			"opened":     ix != nil,
+			"solves":     sc,
 		}
 	}
 	return map[string]interface{}{
@@ -671,6 +692,7 @@ func (sx *ShardedIndex) Statz() map[string]interface{} {
 		"shards":        len(sx.parts),
 		"shardsOpened":  opened,
 		"mappedBytes":   mappedBytes,
+		"solves":        solves,
 		"cutEdges":      sx.stats.CutEdges,
 		"cutWeightFrac": sx.stats.CutWeightFrac,
 		"nnzInverse":    sx.stats.NNZInverse,

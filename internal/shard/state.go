@@ -11,10 +11,13 @@ package shard
 // query path allocates only its O(k) result set.
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"kdash/internal/core"
+	"kdash/internal/obs"
 	"kdash/internal/topk"
 )
 
@@ -47,6 +50,13 @@ type pushState struct {
 	rhsVal []float64
 
 	initial float64 // total seeded mass this query
+
+	// Per-query opt-ins, set by the caller after checkout and cleared
+	// by release. Both nil on the hot path: every use is gated on the
+	// pointer, so disabled queries pay a branch, not an allocation or a
+	// clock read.
+	ctx context.Context // cancellation, checked between shard solves
+	tr  *obs.QueryTrace // trace recorder
 }
 
 func newPushState(sx *ShardedIndex) *pushState {
@@ -107,8 +117,9 @@ func (st *pushState) addRes(si, lv int, m float64) {
 // contract) and reports the query's work. Per iteration the shard with
 // the most pending (weighted) mass is solved through its pooled
 // single-lane sparse solver, and only the solve's returned support is
-// accumulated and scattered.
-func (st *pushState) run(w []float64) QueryStats {
+// accumulated and scattered. A cancelled context (checked between shard
+// solves, never per node) abandons the push with the context's error.
+func (st *pushState) run(w []float64) (QueryStats, error) {
 	var qs QueryStats
 	sx := st.sx
 	s := len(sx.parts)
@@ -135,7 +146,16 @@ func (st *pushState) run(w []float64) QueryStats {
 		if weighted <= tol || best < 0 || qs.Solves >= maxSolves {
 			break
 		}
-		st.solveShard(best, &qs)
+		if st.ctx != nil {
+			if err := st.ctx.Err(); err != nil {
+				return qs, fmt.Errorf("shard: query cancelled after %d solves: %w", qs.Solves, err)
+			}
+		}
+		if st.tr != nil {
+			st.traceSolve(best, total, &qs)
+		} else {
+			st.solveShard(best, &qs)
+		}
 	}
 	qs.ResidualMass = total
 	qs.Converged = weighted <= tol
@@ -144,7 +164,38 @@ func (st *pushState) run(w []float64) QueryStats {
 			qs.ShardsPruned++
 		}
 	}
-	return qs
+	if tr := st.tr; tr != nil {
+		tr.Solves += qs.Solves
+		tr.ShardsSolved += qs.ShardsSolved
+		tr.ShardsPruned += qs.ShardsPruned
+		tr.NodesEvaluated += qs.NodesEvaluated
+		tr.CutMassPruned += qs.ResidualMass
+		tr.Converged = qs.Converged
+	}
+	return qs, nil
+}
+
+// traceSolve wraps one solveShard call with trace recording: the
+// pending-mass snapshot before, the shard's consumed mass, the solve's
+// support size and wall clock, and the total residual left after —
+// the residual-bound trajectory clients see in the trace block.
+func (st *pushState) traceSolve(best int, totalBefore float64, qs *QueryStats) {
+	consumed := st.resMass[best]
+	evalBefore := qs.NodesEvaluated
+	t0 := time.Now()
+	st.solveShard(best, qs)
+	d := time.Since(t0)
+	after := 0.0
+	for si := range st.resMass {
+		after += st.resMass[si]
+	}
+	st.tr.AddStep(obs.SolveStep{
+		Shard:          best,
+		ResidualBefore: totalBefore,
+		MassConsumed:   consumed,
+		NodesEvaluated: qs.NodesEvaluated - evalBefore,
+		DurationNS:     d.Nanoseconds(),
+	}, after)
 }
 
 // solveShard consumes shard best's residual through the shard's sparse
@@ -186,6 +237,7 @@ func (st *pushState) solveShard(best int, qs *QueryStats) {
 		panic(fmt.Sprintf("shard: internal solve shape mismatch: %v", err)) // rhs gathered from partLen-sized vectors; unreachable
 	}
 	qs.Solves++
+	sx.solveCounters()[best].Add(1)
 	if !st.solved[best] {
 		st.solved[best] = true
 		qs.ShardsSolved++
@@ -311,4 +363,5 @@ func (st *pushState) release() {
 		st.solved[si] = false
 	}
 	st.initial = 0
+	st.ctx, st.tr = nil, nil
 }
