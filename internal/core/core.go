@@ -71,18 +71,29 @@ type BuildStats struct {
 // Index is a prebuilt K-dash search structure. It is safe for concurrent
 // queries: all fields are read-only after construction.
 type Index struct {
-	n    int
-	c    float64
+	n int
+	c float64
+	// The query structures below are written only during construction and
+	// load (//kdash:mutates-factors functions): under an mmap mode they
+	// alias a PROT_READ file mapping, where a write is a segfault.
+	//
+	//kdash:readonly
 	perm []int // original -> internal
-	inv  []int // internal -> original
+	//kdash:readonly
+	inv []int // internal -> original
 
-	a    *sparse.CSC // reordered column-normalised adjacency
+	//kdash:readonly
+	a *sparse.CSC // reordered column-normalised adjacency
+	//kdash:readonly
 	linv *sparse.CSC // L^{-1}, by column
+	//kdash:readonly
 	uinv *sparse.CSR // U^{-1}, by row
 
-	amax    float64   // max element of A
+	amax float64 // max element of A
+	//kdash:readonly
 	amaxCol []float64 // Amax(u): max element of column u of A
-	selfA   []float64 // A_uu, for the c' factor of Definition 1
+	//kdash:readonly
+	selfA []float64 // A_uu, for the c' factor of Definition 1
 
 	// invFac lazily rebinds the inverse factors as an lu.Inverse so the
 	// single-lane sparse kernel (lu.SparseSolver) and the batch solver
@@ -128,6 +139,8 @@ func (ix *Index) uinvByColumn() *sparse.CSC {
 }
 
 // BuildIndex precomputes a K-dash index for the graph.
+//
+//kdash:mutates-factors
 func BuildIndex(g *graph.Graph, opt BuildOptions) (*Index, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("core: cannot index an empty graph")
@@ -274,6 +287,8 @@ func (ix *Index) newSearchWS() *searchWS {
 // getSearchWS checks a clean search workspace out of the pool (queries
 // leave their workspace spot-cleaned, so pooled instances are reusable
 // as-is); putSearchWS returns it.
+//
+//kdash:pooled
 func (ix *Index) getSearchWS() *searchWS {
 	if sw, ok := ix.swPool.Get().(*searchWS); ok {
 		return sw
@@ -281,6 +296,7 @@ func (ix *Index) getSearchWS() *searchWS {
 	return ix.newSearchWS()
 }
 
+//kdash:release
 func (ix *Index) putSearchWS(sw *searchWS) { ix.swPool.Put(sw) }
 
 // Search runs a query with full control over the search strategy. The
@@ -295,6 +311,8 @@ func (ix *Index) Search(q int, opt SearchOptions) ([]topk.Result, SearchStats, e
 
 // search runs one query against a caller-supplied workspace, leaving the
 // workspace clean for the next query of a batch.
+//
+//kdash:deterministic
 func (ix *Index) search(q int, opt SearchOptions, sw *searchWS) ([]topk.Result, SearchStats, error) {
 	var stats SearchStats
 	if q < 0 || q >= ix.n {
@@ -313,7 +331,7 @@ func (ix *Index) search(q int, opt SearchOptions, sw *searchWS) ([]topk.Result, 
 	}
 	var tSolve time.Time
 	if opt.Trace != nil {
-		tSolve = time.Now()
+		tSolve = time.Now() //kdash:allow(determinism) phase timing feeds only the trace block
 	}
 	qi := ix.perm[q] // internal id
 
@@ -339,7 +357,7 @@ func (ix *Index) search(q int, opt SearchOptions, sw *searchWS) ([]topk.Result, 
 
 	var tRank time.Time
 	if opt.Trace != nil {
-		tRank = time.Now()
+		tRank = time.Now() //kdash:allow(determinism) phase timing feeds only the trace block
 		opt.Trace.SolveNS += tRank.Sub(tSolve).Nanoseconds()
 	}
 	results := heap.Results()
@@ -347,7 +365,7 @@ func (ix *Index) search(q int, opt SearchOptions, sw *searchWS) ([]topk.Result, 
 		results[i].Node = ix.inv[results[i].Node]
 	}
 	if tr := opt.Trace; tr != nil {
-		tr.RankNS += time.Since(tRank).Nanoseconds()
+		tr.RankNS += time.Since(tRank).Nanoseconds() //kdash:allow(determinism) phase timing feeds only the trace block
 		// The monolithic search has no shard granularity: the trace
 		// carries phase timings and work counts, no solve steps.
 		tr.NodesEvaluated += stats.ProximityComputations
@@ -378,6 +396,8 @@ func (ix *Index) SearchBatch(queries []BatchQuery) ([][]topk.Result, []SearchSta
 // is checked between the batch's queries (each individual search is
 // one uninterruptible factor sweep), so a disconnected client stops
 // paying for the rest of its batch. A nil context is never checked.
+//
+//kdash:ctxloop
 func (ix *Index) SearchBatchCtx(ctx context.Context, queries []BatchQuery) ([][]topk.Result, []SearchStats, error) {
 	for i, bq := range queries {
 		if bq.Q < 0 || bq.Q >= ix.n {
@@ -424,7 +444,7 @@ func (ix *Index) internalExclusions(exclude map[int]bool) map[int]bool {
 		return nil
 	}
 	out := make(map[int]bool, len(exclude))
-	for node, on := range exclude {
+	for node, on := range exclude { //kdash:allow(determinism) set-to-set translation: membership only, order never reaches a float
 		if on && node >= 0 && node < ix.n {
 			out[ix.perm[node]] = true
 		}
@@ -441,6 +461,12 @@ func (ix *Index) internalExclusions(exclude map[int]bool) map[int]bool {
 // bound because a multi-source BFS preserves the layer property Lemmas
 // 1–2 rely on (every in-neighbour of a layer-l node sits on layer >=
 // l-1). Results are exact, as in the single-seed case.
+//
+// Validation, the normalising sum and the workspace accumulation all
+// iterate the seed nodes in ascending order: both sums are float
+// accumulations, where map iteration order would drift bits between runs.
+//
+//kdash:deterministic
 func (ix *Index) TopKPersonalized(seeds map[int]float64, k int) ([]topk.Result, SearchStats, error) {
 	var stats SearchStats
 	if k <= 0 {
@@ -449,8 +475,14 @@ func (ix *Index) TopKPersonalized(seeds map[int]float64, k int) ([]topk.Result, 
 	if len(seeds) == 0 {
 		return nil, stats, fmt.Errorf("core: empty seed set")
 	}
+	nodes := make([]int, 0, len(seeds))
+	for node := range seeds { //kdash:allow(determinism) keys only: sorted below, before any mass is accumulated
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
 	total := 0.0
-	for node, w := range seeds {
+	for _, node := range nodes {
+		w := seeds[node]
 		if node < 0 || node >= ix.n {
 			return nil, stats, fmt.Errorf("core: seed node %d outside [0,%d)", node, ix.n)
 		}
@@ -462,10 +494,10 @@ func (ix *Index) TopKPersonalized(seeds map[int]float64, k int) ([]topk.Result, 
 	// Internal ids, sorted for deterministic visit order.
 	internal := make([]int, 0, len(seeds))
 	weight := make(map[int]float64, len(seeds))
-	for node, w := range seeds {
+	for _, node := range nodes {
 		qi := ix.perm[node]
 		internal = append(internal, qi)
-		weight[qi] = w / total
+		weight[qi] = seeds[node] / total
 	}
 	sort.Ints(internal)
 	// Accumulate L^{-1} r into a pooled workspace, spot-cleaning the
@@ -517,6 +549,8 @@ func (ix *Index) bfs(root int) (order []int, layer []int) {
 
 // proximity computes p_u = c * (U^{-1} row u) . (L^{-1} e_q) with the
 // latter pre-scattered in ws.
+//
+//kdash:noalloc
 func (ix *Index) proximity(u int, ws []float64) float64 {
 	s := 0.0
 	for i := ix.uinv.RowPtr[u]; i < ix.uinv.RowPtr[u+1]; i++ {
@@ -537,6 +571,8 @@ func (ix *Index) cPrime(u int) float64 {
 // node itself is visited — so an early-terminated search costs O(visited
 // nodes + their edges), not O(n + m). The visit order is identical to a
 // fully materialised BFS.
+//
+//kdash:noalloc
 func (ix *Index) searchTree(roots []int, heap *topk.Heap, sw *searchWS, opt SearchOptions, excluded map[int]bool, stats *SearchStats) {
 	ws := sw.ws
 	sw.gen++
@@ -1046,6 +1082,7 @@ func (ix *Index) ProximityVector(q int) ([]float64, error) {
 	s := ix.getSparseSolver()
 	y, sup, err := s.SolveSparse([]int{q}, []float64{1})
 	if err != nil {
+		ix.putSparseSolver(s)
 		return nil, err
 	}
 	out := make([]float64, ix.n)

@@ -156,7 +156,11 @@ func OpenIndexFile(path string, mode mmapio.Mode) (*Index, error) {
 // contract); without it only O(1)-per-section shape checks run, so a
 // mapped open never faults in the data pages (corrupt indices surface as
 // bounds panics at query time instead — the server recovers those to
-// 500s — or via an explicit VerifyFile).
+// 500s — or via an explicit VerifyFile). It installs the factor arrays
+// (possibly aliasing the PROT_READ mapping), so it sits on the
+// //kdash:mutates-factors allowlist.
+//
+//kdash:mutates-factors
 func indexFromContainer(f *mmapio.File, deep bool) (*Index, error) {
 	meta, err := f.Bytes(secMeta)
 	if err != nil {

@@ -34,6 +34,8 @@ func (ix *Index) NewSparseSolver() *SparseSolver {
 // getSparseSolver checks a solver out of the per-index pool;
 // putSparseSolver returns it. Pooled solvers retain their workspaces, so
 // a steady-state checkout allocates nothing.
+//
+//kdash:pooled
 func (ix *Index) getSparseSolver() *SparseSolver {
 	if s, ok := ix.sparsePool.Get().(*SparseSolver); ok {
 		return s
@@ -41,6 +43,7 @@ func (ix *Index) getSparseSolver() *SparseSolver {
 	return ix.NewSparseSolver()
 }
 
+//kdash:release
 func (ix *Index) putSparseSolver(s *SparseSolver) { ix.sparsePool.Put(s) }
 
 // SolveSparse computes y = W^{-1} r exactly like Index.Solve, with the
@@ -53,15 +56,18 @@ func (ix *Index) putSparseSolver(s *SparseSolver) { ix.sparsePool.Put(s) }
 // valid only until the next call. Values are bit-identical to
 // Index.Solve on the equivalent dense right-hand side (and therefore to
 // BatchSolver.SolveOn's lanes).
+//
+//kdash:noalloc
+//kdash:deterministic
 func (s *SparseSolver) SolveSparse(idx []int, val []float64) ([]float64, []int, error) {
 	ix := s.ix
 	if len(idx) != len(val) {
-		return nil, nil, fmt.Errorf("core: sparse rhs has %d indices but %d values", len(idx), len(val))
+		return nil, nil, fmt.Errorf("core: sparse rhs has %d indices but %d values", len(idx), len(val)) //kdash:allow(hotalloc) error construction only on invalid input, off the steady-state path
 	}
 	if s.out == nil {
-		s.out = make([]float64, ix.n)
+		s.out = make([]float64, ix.n) //kdash:allow(hotalloc) first call sizes the output vector once per solver lifetime
 		// Non-nil even when empty: nil means "every row written".
-		s.osup = make([]int, 0, 64)
+		s.osup = make([]int, 0, 64) //kdash:allow(hotalloc) paired first-call sizing
 	}
 	// Map to internal ids in caller order — ascending original ids, the
 	// accumulation order Solve's dense scan uses.
@@ -69,10 +75,10 @@ func (s *SparseSolver) SolveSparse(idx []int, val []float64) ([]float64, []int, 
 	prev := -1
 	for _, u := range idx {
 		if u < 0 || u >= ix.n {
-			return nil, nil, fmt.Errorf("core: sparse rhs node %d outside [0,%d)", u, ix.n)
+			return nil, nil, fmt.Errorf("core: sparse rhs node %d outside [0,%d)", u, ix.n) //kdash:allow(hotalloc) error construction only on invalid input
 		}
 		if u <= prev {
-			return nil, nil, fmt.Errorf("core: sparse rhs indices must be strictly ascending (%d after %d)", u, prev)
+			return nil, nil, fmt.Errorf("core: sparse rhs indices must be strictly ascending (%d after %d)", u, prev) //kdash:allow(hotalloc) error construction only on invalid input
 		}
 		prev = u
 		iidx = append(iidx, ix.perm[u])

@@ -55,16 +55,27 @@ func BuildW(a *sparse.CSC, c float64) *sparse.CSC {
 // Factors holds the sparse LU decomposition W = L U with unit lower
 // triangular L (unit diagonal implicit) and upper triangular U (diagonal
 // stored).
+// The factor arrays are immutable once Decompose returns — downstream
+// consumers may alias them into read-only mappings — so every field
+// carries the //kdash:readonly contract enforced by tools/kdashvet.
 type Factors struct {
 	N int
 	// L columns, strictly lower part: row indices ascending.
+	//
+	//kdash:readonly
 	lPtr []int
+	//kdash:readonly
 	lRow []int
+	//kdash:readonly
 	lVal []float64
 	// U columns, including diagonal: row indices ascending; the diagonal
 	// entry is the last entry of each column.
+	//
+	//kdash:readonly
 	uPtr []int
+	//kdash:readonly
 	uRow []int
+	//kdash:readonly
 	uVal []float64
 }
 
@@ -77,6 +88,8 @@ func (f *Factors) NNZU() int { return len(f.uVal) }
 // Decompose computes the LU factorization of the sparse matrix w, which
 // must be square with a nonzero diagonal after elimination (guaranteed
 // for W = I - (1-c)A). Column order is taken as given — reorder first.
+//
+//kdash:mutates-factors
 func Decompose(w *sparse.CSC) (*Factors, error) {
 	n := w.Rows
 	if w.Cols != n {
@@ -321,8 +334,13 @@ type Options struct {
 // one proximity needs row u of U^{-1}); this asymmetry is what makes the
 // per-node proximity computation O(nnz(row) + nnz(col)).
 type Inverse struct {
-	N    int
+	N int
+	// Both inverse factors are immutable after construction; under -mmap
+	// their Val/RowIdx/ColPtr slices alias a PROT_READ file mapping.
+	//
+	//kdash:readonly
 	Linv *sparse.CSC
+	//kdash:readonly
 	Uinv *sparse.CSR
 
 	// uinvCol is U^{-1} transposed to column form, built lazily for the

@@ -173,6 +173,8 @@ func wantTrace(r *http.Request) bool {
 // (step slices are reused), though a traced query still pays for its
 // clock reads — tracing is opt-in per request precisely so the default
 // path stays at its steady-state allocation count.
+//
+//kdash:pooled
 func (h *Handler) getTrace() *obs.QueryTrace {
 	if t, ok := h.tracePool.Get().(*obs.QueryTrace); ok {
 		t.Reset()
@@ -181,6 +183,7 @@ func (h *Handler) getTrace() *obs.QueryTrace {
 	return &obs.QueryTrace{}
 }
 
+//kdash:release
 func (h *Handler) putTrace(t *obs.QueryTrace) { h.tracePool.Put(t) }
 
 // traceStepJSON is one shard solve in a trace block, in execution

@@ -14,6 +14,7 @@ package shard
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -54,15 +55,30 @@ func (sx *ShardedIndex) push(seeds map[int]float64) ([][]float64, QueryStats) {
 // The returned vectors are caller-owned copies; the hot query paths
 // (TopK, Proximity, ProximityVector) consume the pooled push state
 // directly instead and never materialise.
+//
+//kdash:deterministic
 func (sx *ShardedIndex) pushWeighted(seeds map[int]float64, w []float64) ([][]float64, QueryStats) {
 	st := sx.getPushState()
-	for g, m := range seeds {
-		st.seed(g, m)
+	for _, g := range seedNodesSorted(seeds) {
+		st.seed(g, seeds[g])
 	}
 	qs, _ := st.run(w) // no context on the state: run cannot fail
 	x := st.materialize()
 	sx.putPushState(st)
 	return x, qs
+}
+
+// seedNodesSorted returns a seed map's keys in ascending node order.
+// Seeding order reaches the solver's right-hand side through residual
+// accumulation, and a map-ordered float sum drifts bits between runs —
+// every seeding loop must iterate this slice, never the map.
+func seedNodesSorted(seeds map[int]float64) []int {
+	nodes := make([]int, 0, len(seeds))
+	for g := range seeds { //kdash:allow(determinism) keys only: sorted below, before any mass is accumulated
+		nodes = append(nodes, g)
+	}
+	sort.Ints(nodes)
+	return nodes
 }
 
 // partLen is the shard graph's node count (owned nodes + ghost sink).
@@ -115,6 +131,7 @@ func (sx *ShardedIndex) TopK(q, k int) ([]topk.Result, QueryStats, error) {
 	return sx.topK(q, k, core.SearchOptions{})
 }
 
+//kdash:deterministic
 func (sx *ShardedIndex) topK(q, k int, opt core.SearchOptions) ([]topk.Result, QueryStats, error) {
 	var qs QueryStats
 	if q < 0 || q >= sx.n {
@@ -127,7 +144,7 @@ func (sx *ShardedIndex) topK(q, k int, opt core.SearchOptions) ([]topk.Result, Q
 	st.ctx, st.tr = opt.Ctx, opt.Trace
 	var tPush time.Time
 	if opt.Trace != nil {
-		tPush = time.Now()
+		tPush = time.Now() //kdash:allow(determinism) phase timing feeds only the trace block
 	}
 	st.seed(q, sx.c)
 	qs, err := st.run(nil)
@@ -137,12 +154,12 @@ func (sx *ShardedIndex) topK(q, k int, opt core.SearchOptions) ([]topk.Result, Q
 	}
 	var tRank time.Time
 	if opt.Trace != nil {
-		tRank = time.Now()
+		tRank = time.Now() //kdash:allow(determinism) phase timing feeds only the trace block
 		opt.Trace.SolveNS += tRank.Sub(tPush).Nanoseconds()
 	}
 	results := st.rank(k, opt.Exclude)
 	if opt.Trace != nil {
-		opt.Trace.RankNS += time.Since(tRank).Nanoseconds()
+		opt.Trace.RankNS += time.Since(tRank).Nanoseconds() //kdash:allow(determinism) phase timing feeds only the trace block
 	}
 	sx.putPushState(st)
 	return results, qs, nil
@@ -171,7 +188,12 @@ func (qs QueryStats) searchStats() core.SearchStats {
 
 // TopKPersonalized generalises TopK to a restart distribution, mirroring
 // core.Index.TopKPersonalized: the walk restarts into the seed nodes with
-// probability proportional to their weights.
+// probability proportional to their weights. Validation, weight
+// normalisation and seeding all iterate the seed nodes in ascending
+// order: the normalising sum and the seeded residuals feed float
+// accumulation, where map iteration order would drift bits between runs.
+//
+//kdash:deterministic
 func (sx *ShardedIndex) TopKPersonalized(seeds map[int]float64, k int) ([]topk.Result, core.SearchStats, error) {
 	var qs QueryStats
 	if k <= 0 {
@@ -180,8 +202,10 @@ func (sx *ShardedIndex) TopKPersonalized(seeds map[int]float64, k int) ([]topk.R
 	if len(seeds) == 0 {
 		return nil, qs.searchStats(), fmt.Errorf("shard: empty seed set")
 	}
+	nodes := seedNodesSorted(seeds)
 	total := 0.0
-	for node, w := range seeds {
+	for _, node := range nodes {
+		w := seeds[node]
 		if node < 0 || node >= sx.n {
 			return nil, qs.searchStats(), fmt.Errorf("shard: seed node %d outside [0,%d)", node, sx.n)
 		}
@@ -191,8 +215,8 @@ func (sx *ShardedIndex) TopKPersonalized(seeds map[int]float64, k int) ([]topk.R
 		total += w
 	}
 	st := sx.getPushState()
-	for node, w := range seeds {
-		st.seed(node, sx.c*w/total)
+	for _, node := range nodes {
+		st.seed(node, sx.c*seeds[node]/total)
 	}
 	qs, _ = st.run(nil) // no context on the state: run cannot fail
 	results := st.rank(k, nil)
@@ -279,6 +303,8 @@ func (sx *ShardedIndex) computePairWeights(su int) []float64 {
 // soon as that shard's entries are settled instead of driving the global
 // residual to tolerance — the single-pair analogue of the monolithic
 // index answering one pair from one row-column product.
+//
+//kdash:deterministic
 func (sx *ShardedIndex) Proximity(q, u int) (float64, error) {
 	if q < 0 || q >= sx.n || u < 0 || u >= sx.n {
 		return 0, fmt.Errorf("shard: node pair (%d,%d) outside [0,%d)", q, u, sx.n)
@@ -298,6 +324,8 @@ func (sx *ShardedIndex) Proximity(q, u int) (float64, error) {
 
 // ProximityVector computes the full proximity vector for q in original
 // node-id order.
+//
+//kdash:deterministic
 func (sx *ShardedIndex) ProximityVector(q int) ([]float64, error) {
 	if q < 0 || q >= sx.n {
 		return nil, fmt.Errorf("shard: query node %d outside [0,%d)", q, sx.n)

@@ -77,6 +77,8 @@ func newPushState(sx *ShardedIndex) *pushState {
 }
 
 // getPushState checks clean per-query push state out of the pool.
+//
+//kdash:pooled
 func (sx *ShardedIndex) getPushState() *pushState {
 	if st, ok := sx.pushPool.Get().(*pushState); ok {
 		return st
@@ -86,12 +88,16 @@ func (sx *ShardedIndex) getPushState() *pushState {
 
 // putPushState restores the all-zero invariant and returns the state to
 // the pool. The state's vectors and supports must not be read afterwards.
+//
+//kdash:release
 func (sx *ShardedIndex) putPushState(st *pushState) {
 	st.release()
 	sx.pushPool.Put(st)
 }
 
 // seed adds restart mass m (already scaled by c) at global node g.
+//
+//kdash:noalloc
 func (st *pushState) seed(g int, m float64) {
 	st.addRes(st.sx.home[g], st.sx.local[g], m)
 	st.initial += m
@@ -99,11 +105,13 @@ func (st *pushState) seed(g int, m float64) {
 
 // addRes adds residual mass at (shard si, local row lv), recording the
 // touch so consumption and cleanup iterate only written entries.
+//
+//kdash:noalloc
 func (st *pushState) addRes(si, lv int, m float64) {
 	if st.res[si] == nil {
 		n := st.sx.partLen(si)
-		st.res[si] = make([]float64, n)
-		st.rmark[si] = make([]bool, n)
+		st.res[si] = make([]float64, n) //kdash:allow(hotalloc) first touch of a shard sizes its residual vectors once per pooled state
+		st.rmark[si] = make([]bool, n)  //kdash:allow(hotalloc) paired first-touch sizing
 	}
 	if !st.rmark[si][lv] {
 		st.rmark[si][lv] = true
@@ -119,6 +127,10 @@ func (st *pushState) addRes(si, lv int, m float64) {
 // single-lane sparse solver, and only the solve's returned support is
 // accumulated and scattered. A cancelled context (checked between shard
 // solves, never per node) abandons the push with the context's error.
+//
+//kdash:noalloc
+//kdash:deterministic
+//kdash:ctxloop
 func (st *pushState) run(w []float64) (QueryStats, error) {
 	var qs QueryStats
 	sx := st.sx
@@ -148,7 +160,7 @@ func (st *pushState) run(w []float64) (QueryStats, error) {
 		}
 		if st.ctx != nil {
 			if err := st.ctx.Err(); err != nil {
-				return qs, fmt.Errorf("shard: query cancelled after %d solves: %w", qs.Solves, err)
+				return qs, fmt.Errorf("shard: query cancelled after %d solves: %w", qs.Solves, err) //kdash:allow(hotalloc) error construction only on abandoned queries, off the steady-state path
 			}
 		}
 		if st.tr != nil {
@@ -182,9 +194,9 @@ func (st *pushState) run(w []float64) (QueryStats, error) {
 func (st *pushState) traceSolve(best int, totalBefore float64, qs *QueryStats) {
 	consumed := st.resMass[best]
 	evalBefore := qs.NodesEvaluated
-	t0 := time.Now()
+	t0 := time.Now() //kdash:allow(determinism) wall clock feeds only the trace block, never the solve or ranking
 	st.solveShard(best, qs)
-	d := time.Since(t0)
+	d := time.Since(t0) //kdash:allow(determinism) trace-only duration
 	after := 0.0
 	for si := range st.resMass {
 		after += st.resMass[si]
@@ -201,6 +213,8 @@ func (st *pushState) traceSolve(best int, totalBefore float64, qs *QueryStats) {
 // solveShard consumes shard best's residual through the shard's sparse
 // solver, accumulates the solution and scatters solved mass across the
 // cut edges — all proportional to the solve's actual support.
+//
+//kdash:noalloc
 func (st *pushState) solveShard(best int, qs *QueryStats) {
 	sx := st.sx
 	p := sx.parts[best]
@@ -234,7 +248,7 @@ func (st *pushState) solveShard(best int, qs *QueryStats) {
 	}
 	y, ysup, err := solver.SolveSparse(idx, val)
 	if err != nil {
-		panic(fmt.Sprintf("shard: internal solve shape mismatch: %v", err)) // rhs gathered from partLen-sized vectors; unreachable
+		panic(fmt.Sprintf("shard: internal solve shape mismatch: %v", err)) //kdash:allow(hotalloc) unreachable: rhs is gathered from partLen-sized vectors
 	}
 	qs.Solves++
 	sx.solveCounters()[best].Add(1)
@@ -243,8 +257,8 @@ func (st *pushState) solveShard(best int, qs *QueryStats) {
 		qs.ShardsSolved++
 	}
 	if st.x[best] == nil {
-		st.x[best] = make([]float64, len(p.nodes))
-		st.xmark[best] = make([]bool, len(p.nodes))
+		st.x[best] = make([]float64, len(p.nodes))  //kdash:allow(hotalloc) first touch of a shard sizes its solution vectors once per pooled state
+		st.xmark[best] = make([]bool, len(p.nodes)) //kdash:allow(hotalloc) paired first-touch sizing
 	}
 	xb, xm := st.x[best], st.xmark[best]
 	consume := func(lv int) {
@@ -282,7 +296,10 @@ func (st *pushState) solveShard(best int, qs *QueryStats) {
 }
 
 // rank merges the state's accumulated solution into one exact top-k
-// answer, iterating only the entries the push wrote.
+// answer, iterating only the entries the push wrote. It allocates the
+// O(k) result set and nothing else — deliberately not //kdash:noalloc.
+//
+//kdash:deterministic
 func (st *pushState) rank(k int, exclude map[int]bool) []topk.Result {
 	heap := topk.New(k)
 	for si := range st.sx.parts {
@@ -337,6 +354,8 @@ func (st *pushState) materialize() [][]float64 {
 // release restores the all-zero invariant by spot-cleaning exactly the
 // entries this query touched (one bulk clear for shards a dense solve
 // wrote wholesale) and resets the per-query bookkeeping.
+//
+//kdash:noalloc
 func (st *pushState) release() {
 	for si := range st.sx.parts {
 		if st.xdense[si] {

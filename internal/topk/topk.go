@@ -57,6 +57,8 @@ func (h *Heap) Threshold() float64 {
 // or the heap is not full. Returns true if the set of kept results changed.
 // The sift is hand-rolled rather than container/heap so no Result is ever
 // boxed through an interface — Push is allocation-free.
+//
+//kdash:noalloc
 func (h *Heap) Push(node int, score float64) bool {
 	if len(h.items) < h.k {
 		h.items = append(h.items, Result{node, score})

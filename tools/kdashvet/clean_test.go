@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"kdash/tools/kdashvet/internal/analyzers"
+	"kdash/tools/kdashvet/internal/driver"
+)
+
+// TestKdashvetClean runs the full analyzer suite over the repository and
+// asserts zero findings: every invariant annotation in the tree must
+// hold, and every suppression must carry a justification. A failure here
+// is the same signal CI's kdashvet job produces, available via plain
+// `go test`.
+func TestKdashvetClean(t *testing.T) {
+	pkgs, err := driver.Load("../..", []string{"kdash/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("driver.Load matched no packages")
+	}
+	for _, p := range pkgs {
+		diags, err := driver.Run(p, analyzers.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", p.Fset.Position(d.Pos), d.Analyzer, d.Message)
+		}
+	}
+}

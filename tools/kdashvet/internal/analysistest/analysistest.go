@@ -1,0 +1,165 @@
+// Package analysistest is a golden-file test harness for kdashvet
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library only. Test packages live under
+// testdata/src/<name>/ and mark expected findings with trailing
+// comments:
+//
+//	x := pool.Get() // want "not released"
+//
+// Each `// want` carries one or more quoted or backquoted regular
+// expressions that must match a diagnostic reported on that line (after
+// //kdash:allow suppression — so suppression behaviour is testable by
+// writing an allow comment and no want).
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"kdash/tools/kdashvet/internal/driver"
+	"kdash/tools/kdashvet/internal/framework"
+)
+
+// Run loads testdata/src/<pkg>, applies the analyzer, and compares the
+// surviving diagnostics against the package's // want comments.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", pkg)
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no Go files under %s: %v", dir, err)
+	}
+
+	p, err := loadPkg(dir, pkg, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := driver.Run(p, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, p)
+	for _, d := range diags {
+		posn := p.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", posn.Filename, posn.Line)
+		matched := false
+		for _, w := range wants {
+			if w.key == key && !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: [%s] %s", posn.Filename, posn.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s: no diagnostic matching %q", w.key, w.re)
+		}
+	}
+}
+
+// loadPkg parses the files once to harvest the import set, resolves
+// export data for those imports with the go command, then type-checks
+// the package through the driver.
+func loadPkg(dir, pkg string, files []string) (*driver.Package, error) {
+	imports := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, fn := range files {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[path] = true
+			}
+		}
+	}
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	exports, err := driver.ListExports(dir, paths)
+	if err != nil {
+		return nil, err
+	}
+	return driver.CheckFiles(pkg, files, exports)
+}
+
+type want struct {
+	key  string
+	re   *regexp.Regexp
+	used bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, p *driver.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := p.Fset.Position(c.Pos())
+				for _, lit := range splitPatterns(m[1]) {
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", posn.Filename, posn.Line, lit, err)
+					}
+					wants = append(wants, &want{
+						key: fmt.Sprintf("%s:%d", posn.Filename, posn.Line),
+						re:  re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns extracts the quoted or backquoted regexp literals from a
+// want comment's payload.
+func splitPatterns(s string) []string {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				return pats
+			}
+			if lit, err := strconv.Unquote(s[:end+1]); err == nil {
+				pats = append(pats, lit)
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return pats
+			}
+			pats = append(pats, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return pats
+		}
+	}
+	return pats
+}

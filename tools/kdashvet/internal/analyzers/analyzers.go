@@ -1,0 +1,100 @@
+// Package analyzers hosts kdashvet's five invariant checkers. Each is
+// annotation-driven: the invariant's scope is declared in the source
+// with a //kdash: directive, and the analyzer mechanically verifies the
+// body (and, for determinism, the same-package call graph) against it.
+// See docs/STATIC_ANALYSIS.md for the contracts being enforced.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kdash/tools/kdashvet/internal/framework"
+)
+
+// All returns the full suite in reporting order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		PoolRelease,
+		HotAlloc,
+		ROFactors,
+		Determinism,
+		CtxCancel,
+	}
+}
+
+// funcDecls indexes a package's function declarations by their type
+// object, so static calls can be resolved to bodies and directives.
+func funcDecls(pass *framework.Pass) map[*types.Func]*ast.FuncDecl {
+	m := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				m[obj] = fd
+			}
+		}
+	}
+	return m
+}
+
+// calleeFunc resolves a call expression to its static callee, or nil
+// for builtins, function-typed variables and interface-method calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// pkgPathOf returns the import path of a function's defining package
+// ("" for builtins and universe-scope objects).
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// receiverOrFirstArg returns the expression a method call's receiver or
+// a function call's arguments, for checking which value a release-style
+// call operates on.
+func callOperands(call *ast.CallExpr) []ast.Expr {
+	var ops []ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		ops = append(ops, sel.X)
+	}
+	ops = append(ops, call.Args...)
+	return ops
+}
+
+// identObj resolves an expression to the *types.Var it names, unwrapping
+// parens; nil when the expression is not a simple variable reference.
+func identObj(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.ObjectOf(id).(*types.Var)
+	return v
+}

@@ -1,0 +1,352 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kdash/tools/kdashvet/internal/framework"
+)
+
+// HotAlloc rejects alloc-shaped constructs inside functions annotated
+// //kdash:noalloc — the steady-state query hot path (push solve loop,
+// top-k heap, sparse-solver scatter), whose 2-allocs-per-query budget is
+// the repo's performance brand. Flagged constructs:
+//
+//   - make / new / allocating composite literals (slice and map
+//     literals, which allocate backing, and address-taken literals,
+//     which escape; plain value literals are stack copies and pass)
+//   - append without capacity evidence: the destination is neither a
+//     pool-managed field, a parameter, a make-with-capacity local, a
+//     reslice of existing backing, a callee-sized slice, nor the result
+//     of an append into one of those
+//   - conversions to interface types, explicit or implicit at call
+//     boundaries (boxing allocates)
+//   - closures, unless immediately invoked or assigned to a local that
+//     is only ever called directly (those stay on the stack)
+//   - calls into fmt, errors and log (formatting allocates)
+//   - string concatenation and string<->[]byte conversions
+//   - go statements (a goroutine allocates its stack)
+//
+// Deliberate cold-path allocations (lazy first-touch sizing, error
+// construction on abandoned queries) carry //kdash:allow(hotalloc) with
+// a justification. TestTopKSteadyStateAllocs is the runtime cross-check
+// that the annotated set matches reality.
+var HotAlloc = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc:  "reports alloc-shaped constructs inside //kdash:noalloc functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !framework.FuncDirectives(fd)["noalloc"] {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+type hotChecker struct {
+	pass *framework.Pass
+	info *types.Info
+	fd   *ast.FuncDecl
+	// parents maps each node in the function body to its enclosing node.
+	parents map[ast.Node]ast.Node
+	// defs records the defining RHS of local slice variables, the basis
+	// of append capacity evidence.
+	defs map[*types.Var]ast.Expr
+	// callOnly marks local function-typed idents whose every use is a
+	// direct call (non-escaping closures).
+	callOnly map[*types.Var]bool
+}
+
+func checkNoAlloc(pass *framework.Pass, fd *ast.FuncDecl) {
+	c := &hotChecker{
+		pass:     pass,
+		info:     pass.TypesInfo,
+		fd:       fd,
+		parents:  map[ast.Node]ast.Node{},
+		defs:     map[*types.Var]ast.Expr{},
+		callOnly: map[*types.Var]bool{},
+	}
+	c.collectDefs()
+	c.walk(fd.Body)
+}
+
+// collectDefs records, per local variable, its defining expression and
+// whether a function-typed local is only ever invoked directly.
+func (c *hotChecker) collectDefs() {
+	uses := map[*types.Var][]ast.Node{} // enclosing node per use
+	var stack []ast.Node
+	ast.Inspect(c.fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			c.parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if v, ok := c.info.Defs[id].(*types.Var); ok {
+							c.defs[v] = n.Rhs[i]
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			if v, ok := c.info.Uses[n].(*types.Var); ok && len(stack) >= 2 {
+				uses[v] = append(uses[v], stack[len(stack)-2])
+			}
+		}
+		return true
+	})
+	for v := range c.defs {
+		if _, ok := v.Type().Underlying().(*types.Signature); !ok {
+			continue
+		}
+		direct := true
+		for _, parent := range uses[v] {
+			call, ok := parent.(*ast.CallExpr)
+			if !ok || identObj(c.info, call.Fun) != v {
+				direct = false
+				break
+			}
+		}
+		c.callOnly[v] = direct
+	}
+}
+
+func (c *hotChecker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if c.litAllocates(n) {
+				c.pass.Reportf(n.Pos(), "composite literal allocates in //kdash:noalloc function %s", c.fd.Name.Name)
+			}
+		case *ast.FuncLit:
+			if !c.nonEscapingClosure(n) {
+				c.pass.Reportf(n.Pos(), "closure may capture by reference and escape in //kdash:noalloc function %s", c.fd.Name.Name)
+			}
+		case *ast.GoStmt:
+			c.pass.Reportf(n.Pos(), "go statement allocates a goroutine in //kdash:noalloc function %s", c.fd.Name.Name)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(c.info.Types[n].Type) {
+				c.pass.Reportf(n.Pos(), "string concatenation allocates in //kdash:noalloc function %s", c.fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			c.call(n)
+		}
+		return true
+	})
+}
+
+func (c *hotChecker) call(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Type conversions.
+	if tv, ok := c.info.Types[fun]; ok && tv.IsType() {
+		to := tv.Type
+		if len(call.Args) == 1 {
+			from := c.info.Types[call.Args[0]].Type
+			switch {
+			case isInterface(to) && from != nil && !isInterface(from) && !isUntypedNil(c.info, call.Args[0]):
+				c.pass.Reportf(call.Pos(), "conversion to interface type %s boxes its operand in //kdash:noalloc function %s", types.TypeString(to, nil), c.fd.Name.Name)
+			case isString(to) != isString(from) && (isString(to) || isString(from)) && isStringByteConv(to, from):
+				c.pass.Reportf(call.Pos(), "string/[]byte conversion copies in //kdash:noalloc function %s", c.fd.Name.Name)
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				c.pass.Reportf(call.Pos(), "%s allocates in //kdash:noalloc function %s", b.Name(), c.fd.Name.Name)
+			case "append":
+				if len(call.Args) > 0 && !c.capEvidence(call.Args[0]) {
+					c.pass.Reportf(call.Pos(), "append without capacity evidence may grow in //kdash:noalloc function %s (append into a pooled field, parameter, or make-with-cap local instead)", c.fd.Name.Name)
+				}
+			}
+			return
+		}
+	}
+
+	// Banned formatting packages.
+	if fn := calleeFunc(c.info, call); fn != nil {
+		switch pkgPathOf(fn) {
+		case "fmt", "errors", "log":
+			c.pass.Reportf(call.Pos(), "call to %s allocates in //kdash:noalloc function %s", fn.FullName(), c.fd.Name.Name)
+			return
+		}
+	}
+
+	// Implicit interface conversions at the call boundary.
+	sig, ok := c.info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type()
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		at := c.info.Types[arg].Type
+		if pt != nil && at != nil && isInterface(pt) && !isInterface(at) && !isUntypedNil(c.info, arg) {
+			c.pass.Reportf(arg.Pos(), "argument boxes %s into interface %s in //kdash:noalloc function %s", types.TypeString(at, nil), types.TypeString(pt, nil), c.fd.Name.Name)
+		}
+	}
+}
+
+// litAllocates reports whether a composite literal allocates: slice and
+// map literals always allocate backing, and an address-taken literal
+// (&T{…}) is an escape candidate. A plain value literal is a stack copy.
+func (c *hotChecker) litAllocates(lit *ast.CompositeLit) bool {
+	if t := c.info.Types[lit].Type; t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return true
+		}
+	}
+	u, ok := c.parentOf(lit).(*ast.UnaryExpr)
+	return ok && u.Op == token.AND
+}
+
+// nonEscapingClosure reports whether a func literal provably stays on
+// the stack: it is invoked immediately, or bound to a local used only in
+// direct call position.
+func (c *hotChecker) nonEscapingClosure(fl *ast.FuncLit) bool {
+	parent := c.parentOf(fl)
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		return ast.Unparen(p.Fun) == fl // (func(){...})()
+	case *ast.AssignStmt:
+		for i, r := range p.Rhs {
+			if ast.Unparen(r) == fl && i < len(p.Lhs) {
+				if id, ok := p.Lhs[i].(*ast.Ident); ok {
+					if v, ok := c.info.Defs[id].(*types.Var); ok {
+						return c.callOnly[v]
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (c *hotChecker) parentOf(target ast.Node) ast.Node {
+	return c.parents[target]
+}
+
+// capEvidence reports whether an append destination has managed
+// capacity: pool-backed fields, parameters, reslices, indexed state and
+// callee-sized slices all qualify; bare locals from cap-less makes or
+// literals do not.
+func (c *hotChecker) capEvidence(dst ast.Expr) bool {
+	switch e := ast.Unparen(dst).(type) {
+	case *ast.SelectorExpr:
+		return true // field access: capacity owned by the long-lived struct
+	case *ast.IndexExpr:
+		return c.capEvidence(e.X)
+	case *ast.SliceExpr:
+		return true // reslice reuses existing backing (x[:0] reset idiom)
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := c.info.Uses[id].(*types.Builtin); ok {
+				switch b.Name() {
+				case "make":
+					return len(e.Args) >= 3
+				case "append":
+					// queue := append(sw.queue[:0], roots...) — evidence
+					// flows through to the appendee's backing.
+					return len(e.Args) > 0 && c.capEvidence(e.Args[0])
+				}
+				return false
+			}
+		}
+		return true // callee-sized result
+	case *ast.Ident:
+		v, ok := c.info.Uses[e].(*types.Var)
+		if !ok {
+			return false
+		}
+		if c.isParam(v) {
+			return true
+		}
+		if def, ok := c.defs[v]; ok {
+			return c.capEvidence(def)
+		}
+		return false
+	}
+	return false
+}
+
+func (c *hotChecker) isParam(v *types.Var) bool {
+	if c.fd.Type.Params == nil {
+		return false
+	}
+	for _, f := range c.fd.Type.Params.List {
+		for _, n := range f.Names {
+			if c.info.Defs[n] == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+func isStringByteConv(to, from types.Type) bool {
+	return (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from))
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,596 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kdash/tools/kdashvet/internal/framework"
+)
+
+// PoolRelease enforces the pooling contract: a value checked out of a
+// sync.Pool — directly via (*sync.Pool).Get or through a getter
+// annotated //kdash:pooled — must reach its release (a call annotated
+// //kdash:release, or (*sync.Pool).Put) on every path out of the
+// acquiring function. Early returns must release first (or the release
+// must be deferred, which also covers panicking paths); a value acquired
+// inside a loop body must be released before the next iteration; using a
+// value after releasing it violates the pool's ownership hand-off and is
+// reported too. Passing the value to another function, storing it into a
+// field, or returning it transfers ownership and ends tracking.
+var PoolRelease = &framework.Analyzer{
+	Name: "poolrelease",
+	Doc: "checks that pooled values (push states, search workspaces, sparse solvers, " +
+		"trace recorders) are released on all paths",
+	Run: runPoolRelease,
+}
+
+// vstate is the abstract ownership state of one tracked pooled value.
+type vstate int
+
+const (
+	vLive     vstate = iota // checked out, release still owed
+	vReleased               // released on this path; further use is a bug
+	vDeferred               // release deferred: owed nothing, uses stay legal
+	vEscaped                // ownership transferred; no longer our concern
+)
+
+// tracked is the shared analysis record for one pooled value; aliases of
+// the same value point at the same record.
+type tracked struct {
+	state      vstate
+	name       string
+	getterName string
+	acquirePos token.Pos
+	// assertedOK marks the `v, ok := pool.Get().(*T)` comma-ok form,
+	// where falling out of the if means the assertion failed and there is
+	// no value to release.
+	assertedOK bool
+}
+
+type prEnv map[*types.Var]*tracked
+
+func (e prEnv) clone() prEnv {
+	memo := map[*tracked]*tracked{}
+	out := make(prEnv, len(e))
+	for v, t := range e {
+		nt, ok := memo[t]
+		if !ok {
+			c := *t
+			nt = &c
+			memo[t] = nt
+		}
+		out[v] = nt
+	}
+	return out
+}
+
+// merge folds env b into a at a control-flow join. A value is released
+// after the join only if no surviving path still owes the release.
+func (e prEnv) merge(b prEnv) {
+	for v, ta := range e {
+		tb, ok := b[v]
+		if !ok {
+			continue
+		}
+		ta.state = mergeState(ta.state, tb.state)
+	}
+	for v, tb := range b {
+		if _, ok := e[v]; !ok {
+			e[v] = tb
+		}
+	}
+}
+
+func mergeState(a, b vstate) vstate {
+	switch {
+	case a == b:
+		return a
+	case a == vEscaped || b == vEscaped:
+		return vEscaped
+	case a == vLive || b == vLive:
+		return vLive
+	default: // released + deferred
+		return vDeferred
+	}
+}
+
+type prWalker struct {
+	pass       *framework.Pass
+	info       *types.Info
+	pooledFns  map[*types.Func]bool
+	releaseFns map[*types.Func]bool
+}
+
+func runPoolRelease(pass *framework.Pass) error {
+	decls := funcDecls(pass)
+	w := &prWalker{
+		pass:       pass,
+		info:       pass.TypesInfo,
+		pooledFns:  map[*types.Func]bool{},
+		releaseFns: map[*types.Func]bool{},
+	}
+	for fn, fd := range decls {
+		ds := framework.FuncDirectives(fd)
+		if ds["pooled"] {
+			w.pooledFns[fn] = true
+		}
+		if ds["release"] {
+			w.releaseFns[fn] = true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			env := prEnv{}
+			if w.stmts(fd.Body.List, env) {
+				w.checkExit(env, fd.Body.Rbrace)
+			}
+		}
+	}
+	return nil
+}
+
+// acquisition returns the pooled-getter call underlying e (unwrapping a
+// type assertion such as pool.Get().(*T)), or nil.
+func (w *prWalker) acquisition(e ast.Expr) *ast.CallExpr {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.TypeAssertExpr:
+		return w.acquisition(e.X)
+	case *ast.CallExpr:
+		fn := calleeFunc(w.info, e)
+		if fn == nil {
+			return nil
+		}
+		if w.pooledFns[fn] || fn.FullName() == "(*sync.Pool).Get" {
+			return e
+		}
+	}
+	return nil
+}
+
+// releaseTargets returns the tracked records a call releases, if it is a
+// release-style call.
+func (w *prWalker) releaseTargets(call *ast.CallExpr, env prEnv) []*tracked {
+	fn := calleeFunc(w.info, call)
+	if fn == nil {
+		return nil
+	}
+	if !w.releaseFns[fn] && fn.FullName() != "(*sync.Pool).Put" {
+		return nil
+	}
+	var ts []*tracked
+	for _, op := range callOperands(call) {
+		if v := identObj(w.info, op); v != nil {
+			if t, ok := env[v]; ok {
+				ts = append(ts, t)
+			}
+		}
+	}
+	return ts
+}
+
+// stmts walks a statement list, mutating env; it reports whether control
+// can fall out the end of the list.
+func (w *prWalker) stmts(list []ast.Stmt, env prEnv) bool {
+	for _, s := range list {
+		if !w.stmt(s, env) {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *prWalker) stmt(s ast.Stmt, env prEnv) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(s.Lhs, s.Rhs, env)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, n := range vs.Names {
+						lhs[i] = n
+					}
+					w.assign(lhs, vs.Values, env)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && w.acquisition(s.X) != nil {
+			w.pass.Reportf(call.Pos(), "result of pooled getter %s is discarded: the checked-out value can never be released", callName(call))
+			return true
+		}
+		w.scanExpr(s.X, env)
+	case *ast.DeferStmt:
+		if ts := w.releaseTargets(s.Call, env); len(ts) > 0 {
+			for _, t := range ts {
+				t.state = vDeferred
+			}
+			return true
+		}
+		w.scanExpr(s.Call, env)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if v := identObj(w.info, r); v != nil {
+				if t, ok := env[v]; ok {
+					t.state = vEscaped // ownership returned to the caller
+				}
+			}
+			w.scanExpr(r, env)
+		}
+		w.checkExit(env, s.Pos())
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, env)
+			defer w.dropScoped(s.Init, env)
+		}
+		w.scanExpr(s.Cond, env)
+		thenEnv := env.clone()
+		ftThen := w.stmts(s.Body.List, thenEnv)
+		if s.Else == nil {
+			if ftThen {
+				env.merge(thenEnv)
+			}
+			return true
+		}
+		elseEnv := env.clone()
+		ftElse := w.stmt(s.Else, elseEnv)
+		switch {
+		case ftThen && ftElse:
+			replace(env, thenEnv)
+			env.merge(elseEnv)
+		case ftThen:
+			replace(env, thenEnv)
+		case ftElse:
+			replace(env, elseEnv)
+		default:
+			return false
+		}
+	case *ast.BlockStmt:
+		return w.stmts(s.List, env)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, env)
+			defer w.dropScoped(s.Init, env)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, env)
+		}
+		w.loopBody(s.Body, s.Post, env)
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, env)
+		w.loopBody(s.Body, nil, env)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, env)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, env)
+		}
+		return w.caseClauses(s.Body, env, true)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, env)
+		}
+		w.stmt(s.Assign, env)
+		return w.caseClauses(s.Body, env, true)
+	case *ast.SelectStmt:
+		return w.caseClauses(s.Body, env, false)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, env)
+	case *ast.GoStmt:
+		w.scanExpr(s.Call, env)
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			// Unstructured flow: stop tracking rather than guess.
+			for _, t := range env {
+				t.state = vEscaped
+			}
+		}
+		if s.Tok == token.BREAK || s.Tok == token.CONTINUE {
+			return false // path leaves this statement list
+		}
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, env)
+		w.scanExpr(s.Value, env)
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, env)
+	}
+	return true
+}
+
+// dropScoped removes variables declared by an if/for Init statement from
+// env once the statement's scope ends: a value that escaped or leaked
+// inside the branch was already handled there, and the variable does not
+// exist afterwards.
+func (w *prWalker) dropScoped(init ast.Stmt, env prEnv) {
+	as, ok := init.(*ast.AssignStmt)
+	if !ok {
+		return
+	}
+	for _, l := range as.Lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			if v, ok := w.info.Defs[id].(*types.Var); ok {
+				if t, tracked := env[v]; tracked && t.state == vLive && !t.assertedOK {
+					w.pass.Reportf(t.acquirePos, "%s acquired from %s is not released on the path falling out of its if/for scope", t.name, t.getterName)
+				}
+				delete(env, v)
+			}
+		}
+	}
+}
+
+// replace rebinds env's entries to those of src in place (env is a join
+// result built from a cloned branch environment).
+func replace(env, src prEnv) {
+	for v := range env {
+		delete(env, v)
+	}
+	for v, t := range src {
+		env[v] = t
+	}
+}
+
+// loopBody analyzes a loop body: values acquired inside the body must be
+// released by the time an iteration ends (the next Get would orphan
+// them), and releases inside the body do not count for code after the
+// loop, which must assume zero iterations.
+func (w *prWalker) loopBody(body *ast.BlockStmt, post ast.Stmt, env prEnv) {
+	pre := map[*types.Var]bool{}
+	for v := range env {
+		pre[v] = true
+	}
+	bodyEnv := env.clone()
+	ft := w.stmts(body.List, bodyEnv)
+	if post != nil {
+		w.stmt(post, bodyEnv)
+	}
+	if ft {
+		for v, t := range bodyEnv {
+			if !pre[v] && t.state == vLive {
+				w.pass.Reportf(t.acquirePos, "%s acquired from %s inside the loop body is not released before the iteration ends", t.name, t.getterName)
+				t.state = vEscaped // report once
+			}
+		}
+	}
+	// After the loop: keep the conservative pre-loop view for pre-existing
+	// values (the body may run zero times), but surface body escapes.
+	for v, t := range bodyEnv {
+		if pre[v] && t.state == vEscaped {
+			env[v].state = vEscaped
+		}
+	}
+}
+
+// caseClauses analyzes a switch/select body; withImplicitDefault adds the
+// fall-past path when no default clause exists.
+func (w *prWalker) caseClauses(body *ast.BlockStmt, env prEnv, withImplicitDefault bool) bool {
+	var merged prEnv
+	anyFT := false
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmtsList []ast.Stmt
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range cs.List {
+				w.scanExpr(e, env)
+			}
+			if cs.List == nil {
+				hasDefault = true
+			}
+			stmtsList = cs.Body
+		case *ast.CommClause:
+			if cs.Comm != nil {
+				w.stmt(cs.Comm, env.clone())
+			} else {
+				hasDefault = true
+			}
+			stmtsList = cs.Body
+		}
+		caseEnv := env.clone()
+		if w.stmts(stmtsList, caseEnv) {
+			anyFT = true
+			if merged == nil {
+				merged = caseEnv
+			} else {
+				merged.merge(caseEnv)
+			}
+		}
+	}
+	if withImplicitDefault && !hasDefault {
+		anyFT = true
+		if merged == nil {
+			merged = env.clone()
+		} else {
+			merged.merge(env)
+		}
+	}
+	if merged != nil {
+		replace(env, merged)
+	}
+	return anyFT || merged == nil
+}
+
+// assign handles acquisitions, aliasing, overwrites and heap stores.
+func (w *prWalker) assign(lhs, rhs []ast.Expr, env prEnv) {
+	// v := getter()  (also v, ok := pool.Get().(*T))
+	if len(rhs) == 1 && len(lhs) >= 1 {
+		if call := w.acquisition(rhs[0]); call != nil {
+			if v := identObj(w.info, lhs[0]); v != nil {
+				if old, ok := env[v]; ok && old.state == vLive {
+					w.pass.Reportf(lhs[0].Pos(), "%s reassigned while the previous pooled value from %s is still unreleased", old.name, old.getterName)
+				}
+				_, isAssert := ast.Unparen(rhs[0]).(*ast.TypeAssertExpr)
+				env[v] = &tracked{
+					state:      vLive,
+					name:       v.Name(),
+					getterName: callName(call),
+					acquirePos: rhs[0].Pos(),
+					assertedOK: isAssert && len(lhs) == 2,
+				}
+				return
+			}
+			// Acquisition into a non-identifier (field, map entry):
+			// ownership lands on the heap; out of scope.
+			return
+		}
+	}
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			w.assignOne(lhs[i], rhs[i], env)
+		}
+		return
+	}
+	for _, r := range rhs {
+		w.scanExpr(r, env)
+	}
+	for _, l := range lhs {
+		w.scanLHS(l, env)
+	}
+}
+
+func (w *prWalker) assignOne(l, r ast.Expr, env prEnv) {
+	// u := v — alias shares the record.
+	if rv := identObj(w.info, r); rv != nil {
+		if t, ok := env[rv]; ok {
+			if lv := identObj(w.info, l); lv != nil {
+				env[lv] = t
+				return
+			}
+			// v stored into a field/slot: ownership transferred.
+			t.state = vEscaped
+			return
+		}
+	}
+	w.scanExpr(r, env)
+	w.scanLHS(l, env)
+}
+
+func (w *prWalker) scanLHS(l ast.Expr, env prEnv) {
+	if lv := identObj(w.info, l); lv != nil {
+		if old, ok := env[lv]; ok && old.state == vLive {
+			w.pass.Reportf(l.Pos(), "%s reassigned while the previous pooled value from %s is still unreleased", old.name, old.getterName)
+			delete(env, lv)
+		}
+		return
+	}
+	w.scanExpr(l, env) // uses inside index/selector expressions
+}
+
+// scanExpr inspects an expression for release calls, ownership escapes
+// and use-after-release of tracked values.
+func (w *prWalker) scanExpr(e ast.Expr, env prEnv) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if ts := w.releaseTargets(n, env); len(ts) > 0 {
+				for _, t := range ts {
+					if t.state == vReleased {
+						w.pass.Reportf(n.Pos(), "%s released twice (double Put corrupts the pool)", t.name)
+					}
+					t.state = vReleased
+				}
+				return false
+			}
+			// Receiver method call on a tracked value is a plain use;
+			// passing a tracked value as an argument hands ownership off.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				w.checkUse(sel.X, env)
+			}
+			for _, a := range n.Args {
+				if v := identObj(w.info, a); v != nil {
+					if t, ok := env[v]; ok {
+						if t.state == vReleased {
+							w.pass.Reportf(a.Pos(), "%s used after release (pooled value was already returned to the pool)", t.name)
+						} else {
+							t.state = vEscaped
+						}
+						continue
+					}
+				}
+				w.scanExpr(a, env)
+			}
+			w.scanExpr(n.Fun, env)
+			return false
+		case *ast.FuncLit:
+			// A closure capturing a pooled value may outlive the release
+			// point; stop tracking.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := w.info.ObjectOf(id).(*types.Var); ok {
+						if t, ok := env[v]; ok {
+							t.state = vEscaped
+						}
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if v := identObj(w.info, n.X); v != nil {
+					if t, ok := env[v]; ok {
+						t.state = vEscaped
+						return false
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if vv := identObj(w.info, v); vv != nil {
+					if t, ok := env[vv]; ok {
+						t.state = vEscaped
+					}
+				}
+			}
+		case *ast.Ident:
+			w.checkUse(n, env)
+		}
+		return true
+	})
+}
+
+// checkUse flags reads of a value that was already released.
+func (w *prWalker) checkUse(e ast.Expr, env prEnv) {
+	if v := identObj(w.info, e); v != nil {
+		if t, ok := env[v]; ok && t.state == vReleased {
+			w.pass.Reportf(e.Pos(), "%s used after release (pooled value was already returned to the pool)", t.name)
+		}
+	}
+}
+
+// checkExit reports values still owed a release when control leaves the
+// function at pos.
+func (w *prWalker) checkExit(env prEnv, pos token.Pos) {
+	seen := map[*tracked]bool{}
+	for _, t := range env {
+		if t.state == vLive && !seen[t] {
+			seen[t] = true
+			w.pass.Reportf(pos, "return without releasing %s (checked out from %s at line %d)",
+				t.name, t.getterName, w.pass.Fset.Position(t.acquirePos).Line)
+		}
+	}
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "pooled getter"
+}

@@ -1,0 +1,28 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"kdash/tools/kdashvet/internal/analysistest"
+	"kdash/tools/kdashvet/internal/analyzers"
+)
+
+func TestPoolRelease(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.PoolRelease, "poolrelease")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.HotAlloc, "hotalloc")
+}
+
+func TestROFactors(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.ROFactors, "rofactors")
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Determinism, "determinism")
+}
+
+func TestCtxCancel(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.CtxCancel, "ctxcancel")
+}

@@ -1,0 +1,67 @@
+// Golden tests for the determinism analyzer: //kdash:deterministic call
+// graphs must avoid map iteration, wall clocks and math/rand.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+//kdash:deterministic
+func accumulate(weights map[int]float64) float64 {
+	var sum float64
+	for _, w := range weights { // want `range over map has randomized order in deterministic function accumulate`
+		sum += w
+	}
+	return sum
+}
+
+//kdash:deterministic
+func accumulateSorted(weights map[int]float64, keys []int) float64 {
+	var sum float64
+	for _, k := range keys { // ok: slice iteration is ordered
+		sum += weights[k]
+	}
+	return sum
+}
+
+//kdash:deterministic
+func stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock read time.Now in deterministic function stamp`
+}
+
+//kdash:deterministic
+func solve(xs []float64) float64 {
+	return helper(xs)
+}
+
+func helper(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return jitter()
+	}
+	return s
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `randomness from math/rand.Float64 in deterministic function jitter \(reached from //kdash:deterministic solve\)`
+}
+
+func unchecked(m map[int]int) int {
+	total := 0
+	for _, v := range m { // ok: not in a deterministic call graph
+		total += v
+	}
+	return total
+}
+
+//kdash:deterministic
+func traced(xs []float64) float64 {
+	start := time.Now() //kdash:allow(determinism) trace-only timing, excluded from the result
+	s := solve(xs)
+	_ = start
+	return s
+}

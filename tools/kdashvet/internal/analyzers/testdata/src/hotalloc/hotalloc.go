@@ -1,0 +1,137 @@
+// Golden tests for the hotalloc analyzer: //kdash:noalloc functions must
+// not contain alloc-shaped constructs.
+package hotalloc
+
+import "fmt"
+
+type ws struct {
+	vals []float64
+	idx  []int
+}
+
+type point struct{ x, y float64 }
+
+func sink(v any)                {}
+func notify(chan struct{})      {}
+func indirect(f func() int) int { return f() }
+
+//kdash:noalloc
+func scatterIntoFields(w *ws, src []float64) {
+	for i, v := range src {
+		w.vals = append(w.vals, v) // ok: capacity owned by the long-lived struct
+		w.idx = append(w.idx, i)
+	}
+}
+
+//kdash:noalloc
+func resliceReuse(w *ws, src []float64) float64 {
+	buf := w.vals[:0]
+	var sum float64
+	for _, v := range src {
+		buf = append(buf, v) // ok: reslice of existing backing
+		sum += v
+	}
+	w.vals = buf
+	return sum
+}
+
+//kdash:noalloc
+func grow(n int) []float64 {
+	out := make([]float64, 0) // want `make allocates`
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i)) // want `append without capacity evidence`
+	}
+	return out
+}
+
+//kdash:noalloc
+func fresh() *point {
+	return new(point) // want `new allocates`
+}
+
+//kdash:noalloc
+func lit() *point {
+	return &point{1, 2} // want `composite literal allocates`
+}
+
+//kdash:noalloc
+func sliceLit() []int {
+	return []int{1, 2, 3} // want `composite literal allocates`
+}
+
+//kdash:noalloc
+func valueLit(w *ws, i int) point {
+	w.vals[i] = point{1, 2}.x // ok: value literal is a stack copy
+	return point{3, 4}        // ok
+}
+
+//kdash:noalloc
+func bfsQueue(w *ws, roots []int) int {
+	queue := append(w.idx[:0], roots...) // ok: evidence flows through append to the pooled backing
+	visited := 0
+	for head := 0; head < len(queue); head++ {
+		visited++
+		if queue[head] > 0 {
+			queue = append(queue, queue[head]-1) // ok: defined by an append with capacity evidence
+		}
+	}
+	w.idx = queue[:0]
+	return visited
+}
+
+//kdash:noalloc
+func explicitBox(v float64) any {
+	return any(v) // want `boxes its operand`
+}
+
+//kdash:noalloc
+func implicitBox(x int) {
+	sink(x) // want `argument boxes int into interface any`
+}
+
+//kdash:noalloc
+func describe(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `call to fmt.Sprintf allocates`
+}
+
+//kdash:noalloc
+func key(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//kdash:noalloc
+func bytesToString(b []byte) string {
+	return string(b) // want `string/\[\]byte conversion copies`
+}
+
+//kdash:noalloc
+func spawn(done chan struct{}) {
+	go notify(done) // want `go statement allocates`
+}
+
+//kdash:noalloc
+func closures(n int) int {
+	double := func(x int) int { return x * 2 } // ok: only ever called directly
+	total := 0
+	for i := 0; i < n; i++ {
+		total = double(total) + i
+	}
+	escape := func() int { return total } // want `closure may capture`
+	return total + indirect(escape)
+}
+
+//kdash:noalloc
+func iife(n int) int {
+	return func() int { return n * n }() // ok: immediately invoked
+}
+
+//kdash:noalloc
+func lazyFirstTouch(w *ws, n int) {
+	if cap(w.vals) == 0 {
+		w.vals = make([]float64, 0, n) //kdash:allow(hotalloc) first-touch sizing happens once per pool lifetime
+	}
+}
+
+func unannotated(n int) []int {
+	return make([]int, n) // ok: no //kdash:noalloc directive
+}

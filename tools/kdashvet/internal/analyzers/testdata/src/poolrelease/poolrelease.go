@@ -1,0 +1,116 @@
+// Golden tests for the poolrelease analyzer: pooled values must reach a
+// release on every path out of the acquiring function.
+package poolrelease
+
+import "sync"
+
+type state struct{ buf []float64 }
+
+var pool = sync.Pool{New: func() any { return new(state) }}
+
+//kdash:pooled
+func getState() *state {
+	if st, ok := pool.Get().(*state); ok {
+		return st
+	}
+	return new(state)
+}
+
+//kdash:release
+func putState(st *state) {
+	st.buf = st.buf[:0]
+	pool.Put(st)
+}
+
+func touch(buf []float64) int { return len(buf) }
+
+func releasedOnHappyPath() int {
+	st := getState()
+	n := touch(st.buf)
+	putState(st)
+	return n
+}
+
+func leakOnEarlyReturn(cond bool) {
+	st := getState()
+	if cond {
+		return // want `return without releasing st`
+	}
+	putState(st)
+}
+
+func leakAtEnd() int {
+	st := getState()
+	return touch(st.buf) // want `return without releasing st`
+}
+
+func doubleRelease() {
+	st := getState()
+	putState(st)
+	putState(st) // want `released twice`
+}
+
+func useAfterRelease() int {
+	st := getState()
+	putState(st)
+	return touch(st.buf) // want `used after release`
+}
+
+func deferredRelease(cond bool) int {
+	st := getState()
+	defer putState(st)
+	if cond {
+		return 0
+	}
+	return touch(st.buf)
+}
+
+func loopLeak(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		st := getState() // want `not released before the iteration ends`
+		total += touch(st.buf)
+	}
+	return total
+}
+
+func loopReleased(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		st := getState()
+		total += touch(st.buf)
+		putState(st)
+	}
+	return total
+}
+
+func discardResult() {
+	getState() // want `discarded`
+}
+
+func reassignWhileLive() {
+	st := getState()
+	st = getState() // want `reassigned while the previous pooled value`
+	putState(st)
+}
+
+func directPool(cond bool) {
+	st := pool.Get().(*state)
+	if cond {
+		return // want `return without releasing st`
+	}
+	pool.Put(st)
+}
+
+func ownershipReturned() *state {
+	st := getState()
+	return st // ok: ownership transfers to the caller
+}
+
+func suppressedLeak(cond bool) {
+	st := getState()
+	if cond {
+		return //kdash:allow(poolrelease) benchmark teardown drains the pool explicitly
+	}
+	putState(st)
+}

@@ -1,0 +1,202 @@
+// Package driver loads type-checked packages and runs kdashvet's
+// analyzers over them. Two loaders feed the same Package shape:
+//
+//   - Load: the standalone path. It shells out to `go list -export
+//     -deps`, which compiles the requested patterns and hands back gc
+//     export data for every dependency, then type-checks each target
+//     package's source against that export data with the standard
+//     library's go/importer. No golang.org/x/tools dependency.
+//
+//   - RunUnitchecker (unitchecker.go): the `go vet -vettool` path. The
+//     go command does the scheduling and passes one vet.cfg per package;
+//     the same importer trick resolves its PackageFile map.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"kdash/tools/kdashvet/internal/framework"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching the patterns (resolved by the
+// go command relative to dir, so module-aware) and returns the target
+// packages — dependencies are consumed as export data only. Test files
+// are not included; the vettool path covers those.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pkg, err := check(t.ImportPath, files, func(path string) (io.ReadCloser, error) {
+			e, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(e)
+		}, "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckFiles parses and type-checks one package from explicit file
+// names, resolving imports through the exports map (import path -> gc
+// export data file). It backs the analysistest harness, which loads
+// golden-test packages that live outside the module's package graph.
+func CheckFiles(importPath string, filenames []string, exports map[string]string) (*Package, error) {
+	return check(importPath, filenames, func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}, "")
+}
+
+// ListExports resolves gc export data files for the given import paths
+// (and their dependencies) by shelling out to `go list -export`, run in
+// dir for module context.
+func ListExports(dir string, importPaths []string) (map[string]string, error) {
+	if len(importPaths) == 0 {
+		return map[string]string{}, nil
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, importPaths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export %s: %v\n%s", strings.Join(importPaths, " "), err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// check parses and type-checks one package's files, resolving imports
+// through the lookup function (gc export data).
+func check(importPath string, filenames []string, lookup func(string) (io.ReadCloser, error), goVersion string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", fn, err)
+		}
+		files = append(files, f)
+	}
+	info := framework.NewInfo()
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", "amd64"),
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &Package{ImportPath: importPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Run executes the analyzers over one loaded package and returns the
+// diagnostics that survive //kdash:allow suppression, in source order.
+func Run(p *Package, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
+	var diags []framework.Diagnostic
+	for _, a := range analyzers {
+		pass := &framework.Pass{
+			Analyzer:  a,
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Pkg,
+			TypesInfo: p.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, p.ImportPath, err)
+		}
+		diags = append(diags, pass.Diagnostics()...)
+	}
+	allows := framework.CollectAllows(p.Fset, p.Files)
+	return framework.Suppress(p.Fset, allows, diags), nil
+}

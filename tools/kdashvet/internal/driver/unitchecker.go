@@ -1,0 +1,126 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"kdash/tools/kdashvet/internal/framework"
+)
+
+// vetConfig mirrors the vet.cfg JSON the go command writes for each
+// package when invoked as `go vet -vettool=kdashvet`. The format is the
+// contract between cmd/go and x/tools' unitchecker; kdashvet implements
+// the same protocol without the x/tools dependency. Fields we do not
+// consume (facts, ignored files) are listed for documentation.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnitchecker handles one `go vet`-driven invocation: parse the
+// vet.cfg, type-check the package against the supplied export data, run
+// the analyzers and print surviving diagnostics to stderr. It returns
+// the number of diagnostics reported (the caller exits non-zero when
+// positive, which is how go vet learns of findings).
+//
+// Packages visited only for facts (VetxOnly — every dependency of the
+// vetted targets, including the standard library) are skipped outright:
+// kdashvet's analyzers are package-local and fact-free, so only the
+// mandatory empty facts file is written for the build cache.
+func RunUnitchecker(cfgPath string, analyzers []*framework.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("kdashvet: no facts\n"), 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		e, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}
+	pkg, err := check(cfg.ImportPath, cfg.GoFiles, lookup, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	PrintDiagnostics(os.Stderr, pkg, diags)
+	return len(diags), nil
+}
+
+// PrintDiagnostics writes findings as file:line:col: [analyzer] message,
+// sorted by position — the format both go vet and humans expect.
+func PrintDiagnostics(w io.Writer, p *Package, diags []framework.Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		posn := p.Fset.Position(d.Pos)
+		posn.Filename = relPath(posn.Filename)
+		fmt.Fprintf(w, "%s: [%s] %s\n", posn, d.Analyzer, d.Message)
+	}
+}
+
+// relPath shortens absolute file names to cwd-relative where possible.
+func relPath(name string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return name
+	}
+	if rel, err := filepath.Rel(wd, name); err == nil && !filepath.IsAbs(rel) {
+		return rel
+	}
+	return name
+}
+
+// PrintVersion implements the -V=full handshake cmd/go uses to fingerprint
+// vettools for its build cache: one line naming the tool plus a content
+// hash of the executable, so editing kdashvet invalidates cached vet
+// results.
+func PrintVersion(w io.Writer, progname string) {
+	h := [sha256.Size]byte{}
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			h = sha256.Sum256(data)
+		}
+	}
+	fmt.Fprintf(w, "%s version devel comments-go-here buildID=%02x\n", progname, h[:12])
+}

@@ -1,0 +1,156 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// kdashvet annotations are comment directives in the `//kdash:` namespace
+// (no space after `//`, like //go: directives):
+//
+//	//kdash:noalloc            function must not contain alloc-shaped constructs (hotalloc)
+//	//kdash:deterministic      function + same-package callees must be bit-reproducible (determinism)
+//	//kdash:ctxloop            solve loops must consult a context between iterations (ctxcancel)
+//	//kdash:pooled             function returns a pooled value the caller must release (poolrelease)
+//	//kdash:release            function releases its pooled argument/receiver back to the pool (poolrelease)
+//	//kdash:readonly           struct field is a factor array: never written after construction (rofactors)
+//	//kdash:mutates-factors    function is on the constructor/serialization allowlist (rofactors)
+//	//kdash:allow(a[,b...]) reason   suppress named analyzers on this line (or the next)
+//
+// Directives on functions live in the doc comment; field directives may
+// be the field's doc comment or its trailing same-line comment.
+
+// DirectivePrefix is the comment namespace all kdashvet annotations use.
+const DirectivePrefix = "//kdash:"
+
+// FuncDirectives returns the set of kdash directives (names only, e.g.
+// "noalloc") attached to a function declaration's doc comment.
+func FuncDirectives(fd *ast.FuncDecl) map[string]bool {
+	return commentDirectives(fd.Doc)
+}
+
+// FieldDirectives returns the kdash directives attached to a struct
+// field, from its doc comment or its trailing line comment.
+func FieldDirectives(f *ast.Field) map[string]bool {
+	ds := commentDirectives(f.Doc)
+	for d := range commentDirectives(f.Comment) {
+		if ds == nil {
+			ds = map[string]bool{}
+		}
+		ds[d] = true
+	}
+	return ds
+}
+
+func commentDirectives(cg *ast.CommentGroup) map[string]bool {
+	if cg == nil {
+		return nil
+	}
+	var ds map[string]bool
+	for _, c := range cg.List {
+		name, _, ok := parseDirective(c.Text)
+		if !ok {
+			continue
+		}
+		if ds == nil {
+			ds = map[string]bool{}
+		}
+		ds[name] = true
+	}
+	return ds
+}
+
+// parseDirective splits a `//kdash:name rest` comment into its directive
+// name and trailing text. Allow directives keep their parenthesised list
+// in the name ("allow(hotalloc)" stays intact; rest is the justification).
+func parseDirective(text string) (name, rest string, ok bool) {
+	if !strings.HasPrefix(text, DirectivePrefix) {
+		return "", "", false
+	}
+	body := text[len(DirectivePrefix):]
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		return body[:i], strings.TrimSpace(body[i+1:]), true
+	}
+	return body, "", true
+}
+
+// Allow is one //kdash:allow(...) suppression comment.
+type Allow struct {
+	Pos       token.Pos
+	Line      int
+	File      string
+	Analyzers map[string]bool
+	Reason    string
+}
+
+// CollectAllows extracts every //kdash:allow comment in the files.
+func CollectAllows(fset *token.FileSet, files []*ast.File) []Allow {
+	var allows []Allow
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, rest, ok := parseDirective(c.Text)
+				if !ok || !strings.HasPrefix(name, "allow(") {
+					continue
+				}
+				inner, closed := strings.CutSuffix(name[len("allow("):], ")")
+				if !closed {
+					continue
+				}
+				names := map[string]bool{}
+				for _, a := range strings.Split(inner, ",") {
+					if a = strings.TrimSpace(a); a != "" {
+						names[a] = true
+					}
+				}
+				posn := fset.Position(c.Pos())
+				allows = append(allows, Allow{
+					Pos:       c.Pos(),
+					Line:      posn.Line,
+					File:      posn.Filename,
+					Analyzers: names,
+					Reason:    rest,
+				})
+			}
+		}
+	}
+	return allows
+}
+
+// Suppress filters diagnostics covered by an allow comment on the same
+// line or the line directly above, and appends a meta-diagnostic for any
+// allow comment that lacks a justification (suppressions must say why).
+// It returns the surviving diagnostics.
+func Suppress(fset *token.FileSet, allows []Allow, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	covered := map[key]bool{}
+	for _, a := range allows {
+		for name := range a.Analyzers {
+			covered[key{a.File, a.Line, name}] = true
+			covered[key{a.File, a.Line + 1, name}] = true
+		}
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		if covered[key{posn.Filename, posn.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	for _, a := range allows {
+		if a.Reason == "" {
+			out = append(out, Diagnostic{
+				Pos:      a.Pos,
+				Analyzer: "kdashvet",
+				Message:  "//kdash:allow suppression requires a justification after the closing parenthesis",
+			})
+		}
+	}
+	return out
+}

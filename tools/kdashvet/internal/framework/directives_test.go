@@ -1,0 +1,117 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text, name, rest string
+		ok               bool
+	}{
+		{"//kdash:noalloc", "noalloc", "", true},
+		{"//kdash:allow(hotalloc) lazy first-touch sizing", "allow(hotalloc)", "lazy first-touch sizing", true},
+		{"//kdash:allow(a,b) why", "allow(a,b)", "why", true},
+		{"// kdash:noalloc", "", "", false}, // space after // is not a directive
+		{"//go:noinline", "", "", false},
+		{"// plain comment", "", "", false},
+	}
+	for _, c := range cases {
+		name, rest, ok := parseDirective(c.text)
+		if name != c.name || rest != c.rest || ok != c.ok {
+			t.Errorf("parseDirective(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.text, name, rest, ok, c.name, c.rest, c.ok)
+		}
+	}
+}
+
+const suppressSrc = `package p
+
+func f() {
+	_ = 1 //kdash:allow(hotalloc)
+	_ = 2 //kdash:allow(poolrelease) pool drained at shutdown
+	//kdash:allow(rofactors) heap-owned fixture
+	_ = 3
+}
+`
+
+func TestSuppress(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows := CollectAllows(fset, []*ast.File{f})
+	if len(allows) != 3 {
+		t.Fatalf("CollectAllows = %d allows, want 3", len(allows))
+	}
+
+	lineStart := func(line int) token.Pos {
+		return fset.File(f.Pos()).LineStart(line)
+	}
+	diags := []Diagnostic{
+		{Pos: lineStart(4), Analyzer: "hotalloc", Message: "make allocates"},    // same line as allow
+		{Pos: lineStart(5), Analyzer: "poolrelease", Message: "leak"},           // same line as allow
+		{Pos: lineStart(7), Analyzer: "rofactors", Message: "write"},            // line below allow
+		{Pos: lineStart(5), Analyzer: "determinism", Message: "map range"},      // analyzer not named: survives
+		{Pos: lineStart(2), Analyzer: "hotalloc", Message: "uncovered finding"}, // no allow nearby: survives
+	}
+	out := Suppress(fset, allows, diags)
+
+	var survived []string
+	for _, d := range out {
+		survived = append(survived, d.Analyzer+":"+d.Message)
+	}
+	want := map[string]bool{
+		"determinism:map range":      true,
+		"hotalloc:uncovered finding": true,
+		// The hotalloc allow on line 4 has no justification: Suppress
+		// emits a meta-diagnostic under the reserved "kdashvet" name.
+		"kdashvet://kdash:allow suppression requires a justification after the closing parenthesis": true,
+	}
+	if len(survived) != len(want) {
+		t.Fatalf("Suppress returned %d diagnostics %v, want %d", len(survived), survived, len(want))
+	}
+	for _, s := range survived {
+		if !want[s] {
+			t.Errorf("unexpected surviving diagnostic %q", s)
+		}
+	}
+}
+
+func TestFuncDirectives(t *testing.T) {
+	src := `package p
+
+//kdash:noalloc
+//kdash:deterministic
+func hot() {}
+
+// ordinary doc comment
+func cold() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*ast.FuncDecl{}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			byName[fd.Name.Name] = fd
+		}
+	}
+	hot := FuncDirectives(byName["hot"])
+	if !hot["noalloc"] || !hot["deterministic"] || len(hot) != 2 {
+		t.Errorf("hot directives = %v, want noalloc+deterministic", hot)
+	}
+	if cold := FuncDirectives(byName["cold"]); len(cold) != 0 {
+		t.Errorf("cold directives = %v, want none", cold)
+	}
+	if !strings.HasPrefix(DirectivePrefix, "//") {
+		t.Errorf("DirectivePrefix %q must be a line-comment namespace", DirectivePrefix)
+	}
+}
