@@ -10,6 +10,7 @@
 //	kdash-bench -exp shards -shards 1,4,8 -shard-nodes 50000
 //	kdash-bench -exp batch -batches 1,8,64 -shard-nodes 50000
 //	kdash-bench -exp updates -shard-nodes 50000   # update latency vs rebuild
+//	kdash-bench -exp kernels                      # solve-kernel throughput (scalar vs SIMD vs float32)
 //	kdash-bench -exp shards -json                 # also write BENCH_shards.json
 //	kdash-bench -exp fig2 -cpuprofile cpu.out     # pprof the run
 //
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|batch|updates|coldstart|serve|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|batch|updates|coldstart|serve|kernels|all")
 		queries    = flag.Int("queries", 10, "query nodes averaged per measurement")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		shards     = flag.String("shards", "1,2,4,8", "shard counts for -exp shards")
@@ -82,22 +83,26 @@ func main() {
 	// emit writes one experiment's machine-readable rows when -json is on.
 	// The config block makes every file self-describing, so a committed
 	// reference run clobbered by a smaller local/CI run is visible at a
-	// glance (and in review).
+	// glance (and in review). It records the *resolved* configuration —
+	// the values the experiment actually ran with after defaulting — not
+	// the raw flags, so a default run no longer serialises the zero
+	// sentinels ("shardNodes": 0, "serveWorkers": 0).
 	emit := func(name string, rows interface{}) {
 		if !*jsonOut {
 			return
 		}
+		rcfg := cfg.Resolved()
 		path := fmt.Sprintf("BENCH_%s.json", name)
 		doc := map[string]interface{}{
 			"experiment": name,
 			"config": map[string]interface{}{
-				"queries":       *queries,
-				"seed":          *seed,
-				"shards":        shardCounts,
-				"shardNodes":    *shardNodes,
-				"batches":       batchSizes,
-				"serveDuration": serveDur.String(),
-				"serveWorkers":  *serveWk,
+				"queries":       rcfg.Queries,
+				"seed":          rcfg.Seed,
+				"shards":        rcfg.ShardCounts,
+				"shardNodes":    rcfg.ShardGraphN,
+				"batches":       rcfg.BatchSizes,
+				"serveDuration": rcfg.ServeDuration.String(),
+				"serveWorkers":  rcfg.ServeWorkers,
 			},
 			"rows": rows,
 		}
@@ -212,6 +217,14 @@ func main() {
 		check(err)
 		experiments.WriteServeRows(os.Stdout, rows)
 		emit("serve", rows)
+	}
+	if run("kernels") {
+		any = true
+		section("Extension — solve kernels: scalar vs dispatched (SIMD) vs float32 strip throughput")
+		rows, err := experiments.Kernels(cfg)
+		check(err)
+		experiments.WriteKernelRows(os.Stdout, rows)
+		emit("kernels", rows)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kdash-bench: unknown experiment %q\n", *exp)

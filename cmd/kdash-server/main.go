@@ -88,6 +88,9 @@ func main() {
 		maxBatch  = flag.Int("max-batch", server.DefaultMaxBatch, "largest /topk/batch request accepted")
 		useMmap   = flag.Bool("mmap", false, "memory-map the loaded index (zero-copy, lazy shard opens) instead of parsing it into private memory")
 
+		precision   = flag.String("precision", "float64", `factor value width for single-query solves: "float64" (exact) or "float32" (half the value bandwidth, ~1e-7 relative error)`)
+		pushWorkers = flag.Int("push-workers", 0, "speculative parallel cross-shard push worker budget (<2 = sequential; answers are bit-identical either way)")
+
 		readTimeout     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout    = flag.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight queries on SIGINT/SIGTERM")
@@ -101,6 +104,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kdash-server: %v\n", err)
 		os.Exit(2)
 	}
+	var prec kdash.Precision
+	switch *precision {
+	case "float64", "":
+		prec = kdash.PrecisionFloat64
+	case "float32":
+		prec = kdash.PrecisionFloat32
+	default:
+		fmt.Fprintf(os.Stderr, "kdash-server: unknown -precision %q (want float64 or float32)\n", *precision)
+		os.Exit(2)
+	}
 	var engine server.Engine
 	openMode := "built"
 	tOpen := time.Now()
@@ -110,7 +123,7 @@ func main() {
 		// first query that solves the shard — the instant-cold-start
 		// configuration; without it the directory is fully parsed into
 		// private memory before the listener comes up.
-		sx, err := kdash.OpenShardedIndex(*loadIdx, kdash.OpenOptions{Mmap: *useMmap, Lazy: *useMmap})
+		sx, err := kdash.OpenShardedIndex(*loadIdx, kdash.OpenOptions{Mmap: *useMmap, Lazy: *useMmap, Precision: prec, PushWorkers: *pushWorkers})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -122,7 +135,7 @@ func main() {
 		log.Printf("loaded sharded index (%s): %d nodes / %d shards in %v",
 			openMode, sx.N(), sx.Shards(), time.Since(tOpen).Round(time.Microsecond))
 	case *loadIdx != "":
-		ix, err := kdash.OpenIndex(*loadIdx, kdash.OpenOptions{Mmap: *useMmap})
+		ix, err := kdash.OpenIndex(*loadIdx, kdash.OpenOptions{Mmap: *useMmap, Precision: prec})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -146,6 +159,7 @@ func main() {
 		if *shards > 1 {
 			sx, err := kdash.BuildShardedIndex(g, kdash.ShardOptions{
 				Shards: *shards, Restart: *c, Reorder: kdash.ReorderHybrid, Workers: *workers,
+				Precision: prec, PushWorkers: *pushWorkers,
 			})
 			if err != nil {
 				log.Fatal(err)
@@ -161,6 +175,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			ix.SetPrecision(prec)
 			engine = ix
 			log.Printf("built index: %d nodes / %d edges in %v", g.N(), g.M(), time.Since(start).Round(time.Millisecond))
 		}

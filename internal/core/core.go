@@ -27,6 +27,7 @@ import (
 
 	"kdash/internal/graph"
 	"kdash/internal/lu"
+	"kdash/internal/lu/kernels"
 	"kdash/internal/mmapio"
 	"kdash/internal/obs"
 	"kdash/internal/reorder"
@@ -125,13 +126,35 @@ type Index struct {
 	// loads. Mapped arrays are immutable at the MMU level; Close releases
 	// the mapping.
 	backing *mmapio.File
+
+	// precision is the factor-value width queries solve at (see
+	// SetPrecision); loadedBlkL/loadedBlkU carry pre-built blocked
+	// strips from a v3 file into the lazily bound lu.Inverse.
+	precision  lu.Precision
+	loadedBlkL *lu.BlockedCSC
+	loadedBlkU *lu.BlockedCSC
 }
 
-// inverseFactors returns the index's factors as an lu.Inverse, built once.
+// inverseFactors returns the index's factors as an lu.Inverse, built
+// once. The internal-to-original permutation is baked in as the Remap,
+// so the single-lane kernel's scatters land directly in original node
+// ids and its solutions need no per-support mapping pass.
 func (ix *Index) inverseFactors() *lu.Inverse {
-	ix.invFacOnce.Do(func() { ix.invFac = &lu.Inverse{N: ix.n, Linv: ix.linv, Uinv: ix.uinv} })
+	ix.invFacOnce.Do(func() {
+		ix.invFac = &lu.Inverse{N: ix.n, Linv: ix.linv, Uinv: ix.uinv, Remap: ix.inv, Precision: ix.precision}
+		if ix.loadedBlkL != nil && ix.loadedBlkU != nil {
+			ix.invFac.InstallBlocked(ix.loadedBlkL, ix.loadedBlkU)
+		}
+	})
 	return ix.invFac
 }
+
+// SetPrecision selects the factor-value width for the single-lane solve
+// path: lu.Float64 (exact, the default) or lu.Float32 (half the value
+// bandwidth; see lu.Precision for the error contract). Must be called
+// before the first query on the index — the choice binds when the
+// solve kernels first run.
+func (ix *Index) SetPrecision(p lu.Precision) { ix.precision = p }
 
 // uinvByColumn returns U^{-1} in column-major form, building it once.
 func (ix *Index) uinvByColumn() *sparse.CSC {
@@ -840,7 +863,9 @@ func (bs *BatchSolver) solve(rs [][]float64, fullDrain bool) ([][]float64, [][]i
 func (bs *BatchSolver) solveChunk(rs, outs [][]float64, fullDrain bool) []int {
 	ix := bs.ix
 	n := ix.n
-	need := n * blockWidth
+	// One row past n: the trash row the blocked kernels' padding
+	// entries accumulate zeros into.
+	need := (n + 1) * blockWidth
 	if cap(bs.ws) < need {
 		bs.ws = make([]float64, need)
 		bs.ob = make([]float64, need)
@@ -853,14 +878,16 @@ func (bs *BatchSolver) solveChunk(rs, outs [][]float64, fullDrain bool) []int {
 	}
 	ws := bs.ws
 	w := len(rs)
-	uCol := ix.uinvByColumn()
+	inv := ix.inverseFactors()
+	blkL, blkU := inv.Blocked()
+	colSize := inv.UinvColSizes()
 	support := bs.support[:0]
 	scatterEntries := 0
 	touch := func(r int) {
 		if !bs.mark[r] {
 			bs.mark[r] = true
 			support = append(support, r)
-			scatterEntries += uCol.ColPtr[r+1] - uCol.ColPtr[r]
+			scatterEntries += colSize[r]
 		}
 	}
 
@@ -887,6 +914,29 @@ func (bs *BatchSolver) solveChunk(rs, outs [][]float64, fullDrain bool) []int {
 			continue
 		}
 		qi := ix.perm[u]
+		if blkL != nil {
+			// Blocked path: bookkeeping walks the true entries (int32
+			// indices, half the bandwidth of the []int factor), the
+			// 8-lane kernel walks the padded strip. Entry order inside a
+			// column is unchanged, so results and the first-touch order
+			// of the support match the scalar loops exactly.
+			lo, hi := blkL.ColPtr[qi], blkL.ColPtr[qi+1]
+			cnt := blkL.ColCnt[qi]
+			if nz == 1 {
+				rv := row[lone]
+				for p := lo; p < lo+cnt; p++ {
+					r := int(blkL.Rows[p])
+					touch(r)
+					ws[r*blockWidth+lone] += rv * blkL.Vals[p]
+				}
+				continue
+			}
+			for _, r := range blkL.Rows[lo : lo+cnt] {
+				touch(int(r))
+			}
+			kernels.ScatterBlock8(ws, blkL.Rows[lo:hi], blkL.Vals[lo:hi], &row)
+			continue
+		}
 		if nz == 1 {
 			rv := row[lone]
 			for i := lp[qi]; i < lp[qi+1]; i++ {
@@ -918,7 +968,11 @@ func (bs *BatchSolver) solveChunk(rs, outs [][]float64, fullDrain bool) []int {
 	// the sweep pays every stored entry.
 	var outSup []int
 	if scatterEntries+2*n < ix.uinv.NNZ() {
-		outSup = bs.applyUpperScatter(support, scatterEntries, ws, outs, fullDrain)
+		if blkU != nil {
+			outSup = bs.applyUpperScatterBlocked(blkU, support, scatterEntries, ws, outs, fullDrain)
+		} else {
+			outSup = bs.applyUpperScatter(support, scatterEntries, ws, outs, fullDrain)
+		}
 	} else {
 		bs.applyUpperSweep(ws, outs)
 	}
@@ -1057,8 +1111,85 @@ func (bs *BatchSolver) applyUpperScatter(support []int, scatterEntries int, ws [
 	return mapped
 }
 
+// applyUpperScatterBlocked is applyUpperScatter over the blocked strip
+// form of the transposed factor: per entry, the 8-lane SIMD kernel
+// replaces the unrolled scalar lanes, and the baked permutation means
+// the output block is indexed by original node ids — the drain loses
+// its translation loads. Contribution order per output row is
+// unchanged, so lanes stay bit-identical to the scalar paths.
+func (bs *BatchSolver) applyUpperScatterBlocked(b *lu.BlockedCSC, support []int, scatterEntries int, ws []float64, outs [][]float64, fullDrain bool) []int {
+	ix := bs.ix
+	n, w := ix.n, len(outs)
+	// ob is zero on entry: the first allocation zeroes it and the drain
+	// below re-zeroes every row it reads, including the trash row.
+	ob := bs.ob[:(n+1)*blockWidth]
+	// The scatter must visit columns ascending (it keeps the summation
+	// order identical to the row sweep); lu.PreferFlagScan decides scan
+	// vs sort with the same cost model as the single-lane kernel.
+	if lu.PreferFlagScan(len(support), n) {
+		support = support[:0]
+		for r := 0; r < n; r++ {
+			if bs.mark[r] {
+				support = append(support, r)
+			}
+		}
+	} else {
+		sort.Ints(support)
+	}
+	// Track the output support unless the scatter is so large the reach
+	// is certainly most of the shard: the bookkeeping pass then buys a
+	// support-sized drain instead of a full-shard one.
+	track := !fullDrain && scatterEntries*2 < n
+	omark, osup := bs.omark, bs.osup[:0]
+	for _, j := range support {
+		base := j * blockWidth
+		cws := (*[blockWidth]float64)(ws[base : base+blockWidth])
+		lo, hi := b.ColPtr[j], b.ColPtr[j+1]
+		if track {
+			for _, r := range b.Rows[lo : lo+b.ColCnt[j]] {
+				if !omark[r] {
+					omark[r] = true
+					osup = append(osup, int(r))
+				}
+			}
+		}
+		kernels.ScatterBlock8(ob, b.Rows[lo:hi], b.Vals[lo:hi], cws)
+	}
+	bs.osup = osup
+	if !track {
+		for r := 0; r < n; r++ {
+			base := r * blockWidth
+			for v := 0; v < w; v++ {
+				outs[v][r] = ob[base+v]
+			}
+			clear(ob[base : base+blockWidth])
+		}
+		clear(ob[n*blockWidth:])
+		return nil
+	}
+	// Drain only the touched rows — already original ids, thanks to the
+	// baked permutation; untouched output entries keep stale values the
+	// SolveOn contract forbids reading.
+	mapped := make([]int, len(osup))
+	for k, r := range osup {
+		omark[r] = false
+		mapped[k] = r
+		base := r * blockWidth
+		for v := 0; v < w; v++ {
+			outs[v][r] = ob[base+v]
+		}
+		clear(ob[base : base+blockWidth])
+	}
+	clear(ob[n*blockWidth:])
+	return mapped
+}
+
 // Statz reports observability fields for the server's /statz endpoint.
 func (ix *Index) Statz() map[string]interface{} {
+	precision := "float64"
+	if ix.precision == lu.Float32 {
+		precision = "float32"
+	}
 	return map[string]interface{}{
 		"kind":         "monolithic",
 		"nodes":        ix.n,
@@ -1067,6 +1198,8 @@ func (ix *Index) Statz() map[string]interface{} {
 		"nnzInverse":   ix.stats.NNZInverse,
 		"inverseRatio": ix.stats.InverseRatio,
 		"reorder":      ix.stats.Method.String(),
+		"kernels":      kernels.Impl(),
+		"precision":    precision,
 	}
 }
 

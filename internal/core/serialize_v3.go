@@ -24,6 +24,7 @@ import (
 	"math"
 	"os"
 
+	"kdash/internal/lu"
 	"kdash/internal/mmapio"
 	"kdash/internal/reorder"
 	"kdash/internal/sparse"
@@ -45,6 +46,21 @@ const (
 	secUinvVal    = 12 // float64[nnzU]
 	secAmaxCol    = 13 // float64[n]: per-column max of A
 	secSelfA      = 14 // float64[n]: diagonal of A
+
+	// Blocked factor strips (see lu.BlockedCSC): the kernel-ready padded
+	// layout, persisted so an opened index never rebuilds or re-pads the
+	// factors. All eight appear together or not at all — a pre-strips v3
+	// file loads fine (the first solve builds them in memory), and a file
+	// saved from an index whose padded layout would overflow int32
+	// indexing simply omits them.
+	secBlkLColPtr = 15 // int32[n+1]: blocked L^-1 padded strip offsets
+	secBlkLColCnt = 16 // int32[n]: blocked L^-1 true entry counts
+	secBlkLRows   = 17 // int32: blocked L^-1 row indices, padded
+	secBlkLVals   = 18 // float64: blocked L^-1 values, padded
+	secBlkUColPtr = 19 // int32[n+1]: blocked U^-1-by-column strip offsets
+	secBlkUColCnt = 20 // int32[n]: blocked U^-1 true entry counts
+	secBlkURows   = 21 // int32: blocked U^-1 row indices (remapped), padded
+	secBlkUVals   = 22 // float64: blocked U^-1 values, padded
 )
 
 // metaTag opens the meta section so a v3 container holding something
@@ -99,6 +115,18 @@ func (ix *Index) Save(w io.Writer) error {
 	sw.AddFloats(secUinvVal, ix.uinv.Val)
 	sw.AddFloats(secAmaxCol, ix.amaxCol)
 	sw.AddFloats(secSelfA, ix.selfA)
+	// Force-build the blocked strips so every saved index carries them:
+	// the open path installs them directly and never re-pads the factors.
+	if blkL, blkU := ix.inverseFactors().Blocked(); blkL != nil && blkU != nil {
+		sw.AddInt32s(secBlkLColPtr, blkL.ColPtr)
+		sw.AddInt32s(secBlkLColCnt, blkL.ColCnt)
+		sw.AddInt32s(secBlkLRows, blkL.Rows)
+		sw.AddFloats(secBlkLVals, blkL.Vals)
+		sw.AddInt32s(secBlkUColPtr, blkU.ColPtr)
+		sw.AddInt32s(secBlkUColCnt, blkU.ColCnt)
+		sw.AddInt32s(secBlkURows, blkU.Rows)
+		sw.AddFloats(secBlkUVals, blkU.Vals)
+	}
 	if _, err := sw.WriteTo(w); err != nil {
 		return fmt.Errorf("core: writing index: %w", err)
 	}
@@ -218,6 +246,11 @@ func indexFromContainer(f *mmapio.File, deep bool) (*Index, error) {
 	if err := ix.checkShapes(); err != nil {
 		return nil, err
 	}
+	if f.Has(secBlkLColPtr) {
+		if err := ix.loadBlocked(f, deep); err != nil {
+			return nil, err
+		}
+	}
 	if deep {
 		if err := ix.validateLoaded(); err != nil {
 			return nil, err
@@ -230,6 +263,51 @@ func indexFromContainer(f *mmapio.File, deep bool) (*Index, error) {
 	}
 	ix.backing = f
 	return ix, nil
+}
+
+// loadBlocked wires the pre-built blocked factor strips out of the
+// container. Deep (copy-mode) loads bounds-validate both strips here so
+// corruption is an error; mapped loads defer that one O(nnz) pass to
+// the lu layer's first-use validation, which panics on corrupt strips
+// (the server recovers panics to 500s) — either way no assembly kernel
+// ever walks an unchecked row index.
+//
+//kdash:mutates-factors
+func (ix *Index) loadBlocked(f *mmapio.File, deep bool) error {
+	var err error
+	int32s := func(id uint32, dst *[]int32) {
+		if err == nil {
+			*dst, err = f.Int32s(id)
+		}
+	}
+	floats := func(id uint32, dst *[]float64) {
+		if err == nil {
+			*dst, err = f.Floats(id)
+		}
+	}
+	blkL := &lu.BlockedCSC{N: ix.n}
+	blkU := &lu.BlockedCSC{N: ix.n}
+	int32s(secBlkLColPtr, &blkL.ColPtr)
+	int32s(secBlkLColCnt, &blkL.ColCnt)
+	int32s(secBlkLRows, &blkL.Rows)
+	floats(secBlkLVals, &blkL.Vals)
+	int32s(secBlkUColPtr, &blkU.ColPtr)
+	int32s(secBlkUColCnt, &blkU.ColCnt)
+	int32s(secBlkURows, &blkU.Rows)
+	floats(secBlkUVals, &blkU.Vals)
+	if err != nil {
+		return fmt.Errorf("core: corrupt index (blocked strips): %w", err)
+	}
+	if deep {
+		if err := blkL.Validate(); err != nil {
+			return fmt.Errorf("core: corrupt index (blocked L): %w", err)
+		}
+		if err := blkU.Validate(); err != nil {
+			return fmt.Errorf("core: corrupt index (blocked U): %w", err)
+		}
+	}
+	ix.loadedBlkL, ix.loadedBlkU = blkL, blkU
+	return nil
 }
 
 // checkShapes runs the O(1)-per-section structural checks both load

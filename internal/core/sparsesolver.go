@@ -21,9 +21,7 @@ import (
 type SparseSolver struct {
 	ix   *Index
 	ls   *lu.SparseSolver
-	iidx []int     // internal-id right-hand side, mapped per call
-	out  []float64 // original-id order; valid only on the returned support
-	osup []int     // original-id support scratch
+	iidx []int // internal-id right-hand side, mapped per call
 }
 
 // NewSparseSolver returns a reusable single-lane solver for the index.
@@ -64,11 +62,6 @@ func (s *SparseSolver) SolveSparse(idx []int, val []float64) ([]float64, []int, 
 	if len(idx) != len(val) {
 		return nil, nil, fmt.Errorf("core: sparse rhs has %d indices but %d values", len(idx), len(val)) //kdash:allow(hotalloc) error construction only on invalid input, off the steady-state path
 	}
-	if s.out == nil {
-		s.out = make([]float64, ix.n) //kdash:allow(hotalloc) first call sizes the output vector once per solver lifetime
-		// Non-nil even when empty: nil means "every row written".
-		s.osup = make([]int, 0, 64) //kdash:allow(hotalloc) paired first-call sizing
-	}
 	// Map to internal ids in caller order — ascending original ids, the
 	// accumulation order Solve's dense scan uses.
 	iidx := s.iidx[:0]
@@ -85,19 +78,8 @@ func (s *SparseSolver) SolveSparse(idx []int, val []float64) ([]float64, []int, 
 	}
 	s.iidx = iidx
 
+	// The lu solver carries ix.inv as its baked Remap, so y and sup are
+	// already in original node-id order — no per-support mapping pass.
 	y, sup := s.ls.Solve(iidx, val)
-	if sup == nil {
-		for u := 0; u < ix.n; u++ {
-			s.out[ix.inv[u]] = y[u]
-		}
-		return s.out, nil, nil
-	}
-	osup := s.osup[:0]
-	for _, u := range sup {
-		ou := ix.inv[u]
-		s.out[ou] = y[u]
-		osup = append(osup, ou)
-	}
-	s.osup = osup
-	return s.out, osup, nil
+	return y, sup, nil
 }

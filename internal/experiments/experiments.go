@@ -85,6 +85,31 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Resolved returns the config with every defaulted field replaced by
+// the value the experiments actually run with. Harnesses that record
+// the configuration next to their results (kdash-bench -json) must
+// persist this, not the raw flag values — otherwise a defaulted run is
+// recorded as `shardNodes: 0`, which misreads as a degenerate workload.
+func (c Config) Resolved() Config {
+	c = c.withDefaults()
+	if c.ShardCounts == nil {
+		c.ShardCounts = defaultShardCounts
+	}
+	if c.ShardGraphN == 0 {
+		c.ShardGraphN = defaultShardGraphN
+	}
+	if c.BatchSizes == nil {
+		c.BatchSizes = defaultBatchSizes
+	}
+	if c.ServeDuration == 0 {
+		c.ServeDuration = defaultServeDuration
+	}
+	if c.ServeWorkers == 0 {
+		c.ServeWorkers = defaultServeWorkers
+	}
+	return c
+}
+
 // queryNodes picks deterministic query nodes for a dataset.
 func (c Config) queryNodes(n int) []int {
 	rng := rand.New(rand.NewSource(c.Seed))

@@ -1,0 +1,133 @@
+// Package kernels holds the arch-specific inner loops of the solve path:
+// the triangular scatter (dst[rows[k]] += vals[k]*x) that both the
+// L^{-1} pass and the support-driven U^{-1} apply bottom out in, and the
+// 8-lane block variant the batch solver uses. Implementations are
+// selected once at init — hand-written AVX2 on amd64, FMA-fused
+// assembly on arm64, pure Go everywhere else or under the `noasm` build
+// tag — and every assembly kernel is property-tested bit-identical to
+// the scalar reference on the architecture it runs on.
+//
+// # Bit-identity contract
+//
+// Each kernel applies exactly the multiply-and-accumulate sequence of
+// its scalar reference, in the same order, so swapping implementations
+// never changes a single output bit on a given architecture:
+//
+//   - On amd64 the Go compiler does not fuse a*b+c into an FMA, so the
+//     AVX2 kernels use separate VMULPD/VADDSD steps — never FMA — to
+//     round exactly where the scalar loop rounds.
+//   - On arm64 the Go compiler does fuse a*b+c (FMADDD), so the arm64
+//     kernels use the same fused form. Cross-architecture results may
+//     differ in the last bit — they already do for the pure-Go loops —
+//     but within one architecture every implementation agrees.
+//
+// Callers guarantee three things the kernels exploit instead of
+// checking: rows and vals have equal length, every rows[k] indexes
+// inside dst (the blocked factor strips are bounds-checked once when
+// built or loaded), and — for the 4-lane kernels — the length is a
+// multiple of four, with padding entries pointing at a dedicated trash
+// row carrying value 0 (a zero product cannot flip the sign bit of a
+// real accumulator, and the trash row is never read).
+package kernels
+
+// Width is the entry-count alignment the 4-wide float64 kernels
+// require: blocked factor columns are padded to a multiple of Width.
+const Width = 4
+
+// Pad rounds an entry count up to the kernel alignment.
+func Pad(n int) int { return (n + Width - 1) &^ (Width - 1) }
+
+// MinEntries is the column size below which a fused scalar loop over
+// the blocked strip beats a kernel call: the scatter is store-latency
+// bound, so on short columns the dispatch call and the split
+// bookkeeping/accumulate passes cost more than 4-wide value loads
+// save. Callers run columns shorter than this through their scalar
+// loop (same entry order, so the choice never changes an output bit)
+// and call the kernel for the rest.
+const MinEntries = 24
+
+// Impl names the active implementation ("avx2", "neon" or "scalar"),
+// for /statz and the kernels benchmark.
+func Impl() string { return implName }
+
+var implName = "scalar"
+
+// Dispatch targets, rebound by the arch init when the CPU qualifies.
+var (
+	scatterAXPY   = ScalarScatterAXPY
+	scatterAXPY32 = ScalarScatterAXPY32
+	scatterBlock8 = ScalarScatterBlock8
+)
+
+// ScatterAXPY computes dst[rows[k]] += vals[k] * x for every k in
+// ascending order. len(rows) must equal len(vals) and be a multiple of
+// Width; every rows[k] must index inside dst (see the package comment
+// for the padding contract).
+//
+//kdash:noalloc
+func ScatterAXPY(dst []float64, rows []int32, vals []float64, x float64) {
+	scatterAXPY(dst, rows, vals, x)
+}
+
+// ScatterAXPY32 is ScatterAXPY over float32 value strips: each value is
+// widened to float64 exactly, then multiplied and accumulated in
+// float64 — the half-width bandwidth of the opt-in float32 factor mode
+// without accumulating in reduced precision.
+//
+//kdash:noalloc
+func ScatterAXPY32(dst []float64, rows []int32, vals []float32, x float64) {
+	scatterAXPY32(dst, rows, vals, x)
+}
+
+// ScatterBlock8 computes dst[rows[k]*8+v] += vals[k] * x[v] for v in
+// 0..7, for every k in ascending order — the 8-lane batch kernel. dst
+// is the interleaved block workspace (lane v of row r at dst[r*8+v]);
+// every rows[k]*8+8 must be within dst. Unlike the 4-lane kernels the
+// entry count needs no alignment: each entry is already eight lanes of
+// work.
+//
+//kdash:noalloc
+func ScatterBlock8(dst []float64, rows []int32, vals []float64, x *[8]float64) {
+	scatterBlock8(dst, rows, vals, x)
+}
+
+// ScalarScatterAXPY is the pure-Go reference for ScatterAXPY: the exact
+// accumulation sequence the assembly kernels must reproduce bit for bit.
+//
+//kdash:noalloc
+func ScalarScatterAXPY(dst []float64, rows []int32, vals []float64, x float64) {
+	vals = vals[:len(rows)] // hint: drops the vals[k] bounds check
+	for k, r := range rows {
+		dst[r] += vals[k] * x
+	}
+}
+
+// ScalarScatterAXPY32 is the pure-Go reference for ScatterAXPY32.
+//
+//kdash:noalloc
+func ScalarScatterAXPY32(dst []float64, rows []int32, vals []float32, x float64) {
+	vals = vals[:len(rows)]
+	for k, r := range rows {
+		dst[r] += float64(vals[k]) * x
+	}
+}
+
+// ScalarScatterBlock8 is the pure-Go reference for ScatterBlock8.
+//
+//kdash:noalloc
+func ScalarScatterBlock8(dst []float64, rows []int32, vals []float64, x *[8]float64) {
+	vals = vals[:len(rows)]
+	for k, r := range rows {
+		base := int(r) * 8
+		d := dst[base : base+8 : base+8]
+		v := vals[k]
+		d[0] += v * x[0]
+		d[1] += v * x[1]
+		d[2] += v * x[2]
+		d[3] += v * x[3]
+		d[4] += v * x[4]
+		d[5] += v * x[5]
+		d[6] += v * x[6]
+		d[7] += v * x[7]
+	}
+}

@@ -343,6 +343,20 @@ type Inverse struct {
 	//kdash:readonly
 	Uinv *sparse.CSR
 
+	// Remap, if non-nil, is a permutation of [0, N) baked into the
+	// blocked U^{-1} strips at build time: their row indices are
+	// Remap[r] instead of r, so a kernel scatter lands solutions
+	// directly in the caller's id domain and the per-support output
+	// mapping pass disappears. The row-sweep apply honours it too, so
+	// both branches agree on the output domain.
+	Remap []int
+	// Precision selects the value-strip width for the single-lane solve
+	// path: Float64 (default, exact) or Float32 (half the value
+	// bandwidth, accumulation still in float64). Float32 applies only
+	// where blocked strips exist; a factor too large for int32 indexing
+	// silently keeps exact float64.
+	Precision Precision
+
 	// uinvCol is U^{-1} transposed to column form, built lazily for the
 	// support-driven applies (SparseSolver and core's batch kernel reach
 	// it through UinvByColumn). Immutable once built; never serialised.
@@ -353,6 +367,86 @@ type Inverse struct {
 	uinvCol         *sparse.CSC
 	uinvColSizeOnce sync.Once
 	uinvColSize     []int
+
+	// blkL/blkU are the blocked strip forms of L^{-1} (by column,
+	// unmapped) and U^{-1} (by column, Remap baked in) that the SIMD
+	// kernels walk. Built lazily on first solve, or installed pre-built
+	// from a v3 index file via InstallBlocked — installed strips are
+	// bounds-validated once before the first kernel call because the
+	// assembly trusts row indices unchecked. Nil when the padded layout
+	// would overflow int32 indexing; solves then keep the scalar loops.
+	blkOnce    sync.Once
+	blkL, blkU *BlockedCSC
+	installedL *BlockedCSC
+	installedU *BlockedCSC
+
+	// uval32 is the float32 rendering of Uinv.Val for Float32-mode row
+	// sweeps, derived lazily like the blocked value strips.
+	uval32Once sync.Once
+	uval32     []float32
+}
+
+// Precision selects the stored width of factor values on the
+// single-lane solve path; see Inverse.Precision.
+type Precision uint8
+
+const (
+	// Float64 keeps full-width factor values: the exact mode the
+	// paper's guarantee requires, and the default.
+	Float64 Precision = iota
+	// Float32 reads half-width value strips, widened exactly to float64
+	// before every multiply; accumulation never happens in float32. The
+	// error against Float64 is measured by the differential harness and
+	// documented in docs/ARCHITECTURE.md.
+	Float32
+)
+
+// InstallBlocked hands the Inverse pre-built blocked factor strips
+// (typically mmap-loaded from a v3 index file) so the first solve skips
+// the build. Call before any solve; the strips are validated once at
+// first use and a corrupt pair panics rather than letting an unchecked
+// kernel scatter write out of bounds.
+func (inv *Inverse) InstallBlocked(l, u *BlockedCSC) {
+	inv.installedL, inv.installedU = l, u
+}
+
+// blocked returns the blocked strip forms of both factors, building
+// them on first use unless pre-built strips were installed. Either
+// return may be nil (int32 overflow); callers fall back to the scalar
+// loops then.
+func (inv *Inverse) blocked() (*BlockedCSC, *BlockedCSC) {
+	inv.blkOnce.Do(func() {
+		if inv.installedL != nil && inv.installedU != nil {
+			if err := inv.installedL.validate(); err != nil {
+				panic("lu: corrupt blocked L strip: " + err.Error())
+			}
+			if err := inv.installedU.validate(); err != nil {
+				panic("lu: corrupt blocked U strip: " + err.Error())
+			}
+			inv.blkL, inv.blkU = inv.installedL, inv.installedU
+			return
+		}
+		inv.blkL = BlockFromCSC(inv.Linv, nil)
+		inv.blkU = BlockFromCSC(inv.UinvByColumn(), inv.Remap)
+	})
+	return inv.blkL, inv.blkU
+}
+
+// Blocked force-builds and returns the blocked strips; Save uses it so
+// a persisted index carries them pre-built.
+func (inv *Inverse) Blocked() (*BlockedCSC, *BlockedCSC) { return inv.blocked() }
+
+// uinvVal32 returns the float32 rendering of U^{-1}'s stored values for
+// the Float32-mode row sweep, built lazily once.
+func (inv *Inverse) uinvVal32() []float32 {
+	inv.uval32Once.Do(func() {
+		v := make([]float32, len(inv.Uinv.Val))
+		for i, x := range inv.Uinv.Val {
+			v[i] = float32(x)
+		}
+		inv.uval32 = v
+	})
+	return inv.uval32
 }
 
 // NNZ reports total stored entries across both inverse factors, the

@@ -14,6 +14,7 @@ package lu
 import (
 	"sort"
 
+	"kdash/internal/lu/kernels"
 	"kdash/internal/sparse"
 )
 
@@ -42,6 +43,10 @@ func (inv *Inverse) uinvColSizes() []int {
 	})
 	return inv.uinvColSize
 }
+
+// UinvColSizes exposes the per-column entry counts of U^{-1} to core's
+// batch kernel, which shares the scatter-vs-sweep cost model.
+func (inv *Inverse) UinvColSizes() []int { return inv.uinvColSizes() }
 
 // PreferFlagScan reports whether re-deriving an ascending support of w
 // rows out of n mark flags (one O(n) scan) beats sorting the unordered
@@ -88,9 +93,11 @@ func (s *SparseSolver) Solve(idx []int, val []float64) ([]float64, []int) {
 	inv := s.inv
 	n := inv.N
 	if s.ws == nil {
-		s.ws = make([]float64, n)
+		// One slot past n: the trash row the blocked kernels' padding
+		// entries accumulate zeros into.
+		s.ws = make([]float64, n+1)
 		s.wmark = make([]bool, n)
-		s.out = make([]float64, n)
+		s.out = make([]float64, n+1)
 		s.omark = make([]bool, n)
 		// Non-nil even when empty: a nil support means "dense", and an
 		// empty solve's support is empty, not dense.
@@ -116,23 +123,88 @@ func (s *SparseSolver) Solve(idx []int, val []float64) ([]float64, []int) {
 	// Only the per-column sizes are needed here; the transposed factor
 	// itself is materialised the first time a scatter is actually taken.
 	colSize := inv.uinvColSizes()
+	blkL, blkU := inv.blocked()
+	f32 := inv.Precision == Float32 && blkL != nil && blkU != nil
 	ws, wmark := s.ws, s.wmark
 	wsup := s.wsup[:0]
 	scatterEntries := 0
-	lp, lr, lval := inv.Linv.ColPtr, inv.Linv.RowIdx, inv.Linv.Val
-	for t, j := range idx {
-		v := val[t]
-		if v == 0 {
-			continue
+	if blkL != nil {
+		// Blocked path: bookkeeping walks the true entries, the kernel
+		// walks the padded strip. Marks first, then the accumulate —
+		// per-entry order inside a column is unchanged, so the result
+		// and the first-touch order of wsup match the scalar loop.
+		bp, br := blkL.ColPtr, blkL.Rows
+		var bv []float64
+		var bv32 []float32
+		if f32 {
+			bv32 = blkL.Vals32()
+		} else {
+			bv = blkL.Vals
 		}
-		for p := lp[j]; p < lp[j+1]; p++ {
-			r := lr[p]
-			if !wmark[r] {
-				wmark[r] = true
-				wsup = append(wsup, r)
-				scatterEntries += colSize[r]
+		for t, j := range idx {
+			v := val[t]
+			if v == 0 {
+				continue
 			}
-			ws[r] += v * lval[p]
+			lo, hi := bp[j], bp[j+1]
+			cnt := blkL.ColCnt[j]
+			if int(cnt) < kernels.MinEntries {
+				// Short column: one fused pass beats a kernel call.
+				rows := br[lo : lo+cnt]
+				if f32 {
+					vals := bv32[lo : lo+cnt]
+					vals = vals[:len(rows)] // hint: drops the vals[k] bounds check
+					for k, r := range rows {
+						if !wmark[r] {
+							wmark[r] = true
+							wsup = append(wsup, int(r))
+							scatterEntries += colSize[r]
+						}
+						ws[r] += float64(vals[k]) * v
+					}
+				} else {
+					vals := bv[lo : lo+cnt]
+					vals = vals[:len(rows)]
+					for k, r := range rows {
+						if !wmark[r] {
+							wmark[r] = true
+							wsup = append(wsup, int(r))
+							scatterEntries += colSize[r]
+						}
+						ws[r] += vals[k] * v
+					}
+				}
+				continue
+			}
+			for _, r := range br[lo : lo+cnt] {
+				if !wmark[r] {
+					wmark[r] = true
+					wsup = append(wsup, int(r))
+					scatterEntries += colSize[r]
+				}
+			}
+			if f32 {
+				kernels.ScatterAXPY32(ws, br[lo:hi], bv32[lo:hi], v)
+			} else {
+				kernels.ScatterAXPY(ws, br[lo:hi], bv[lo:hi], v)
+			}
+		}
+	} else {
+		lp, lr, lval := inv.Linv.ColPtr, inv.Linv.RowIdx, inv.Linv.Val
+		for t, j := range idx {
+			v := val[t]
+			if v == 0 {
+				continue
+			}
+			for p := lp[j]; p < lp[j+1]; p++ {
+				r := lr[p]
+				if !wmark[r] {
+					wmark[r] = true
+					wsup = append(wsup, r)
+					scatterEntries += colSize[r]
+				}
+				ws[r] += v * lval[p]
+			}
 		}
 	}
 	s.wsup = wsup
@@ -142,9 +214,13 @@ func (s *SparseSolver) Solve(idx []int, val []float64) ([]float64, []int) {
 	// every stored entry.
 	var sup []int
 	if scatterEntries+2*len(wsup) < inv.Uinv.NNZ() {
-		sup = s.applyUpperScatter(inv.UinvByColumn())
+		if blkU != nil {
+			sup = s.applyUpperScatterBlocked(blkU, f32)
+		} else {
+			sup = s.applyUpperScatter(inv.UinvByColumn())
+		}
 	} else {
-		s.applyUpperSweep()
+		s.applyUpperSweep(f32)
 		s.odense = true
 	}
 
@@ -153,7 +229,8 @@ func (s *SparseSolver) Solve(idx []int, val []float64) ([]float64, []int) {
 		ws[r] = 0
 		wmark[r] = false
 	}
-	return s.out, sup
+	ws[n] = 0 // trash row: padding wrote only zeros, but stay exact
+	return s.out[:n], sup
 }
 
 // applyUpperScatter accumulates out += ws[j] * (U^{-1} column j) over the
@@ -177,6 +254,10 @@ func (s *SparseSolver) applyUpperScatter(uCol *sparse.CSC) []int {
 		sort.Ints(wsup)
 	}
 	out, omark, osup := s.out, s.omark, s.osup[:0]
+	// Honour a baked Remap here too (the blocked strips carry it
+	// pre-applied; this scalar fallback applies it per entry), so both
+	// scatter forms and the sweep agree on the output domain.
+	remap := s.inv.Remap
 	for _, j := range wsup {
 		x := s.ws[j]
 		lo, hi := uCol.ColPtr[j], uCol.ColPtr[j+1]
@@ -184,6 +265,9 @@ func (s *SparseSolver) applyUpperScatter(uCol *sparse.CSC) []int {
 		vals := uCol.Val[lo:hi]
 		vals = vals[:len(rows)] // hint: drops the vals[k] bounds check
 		for k, r := range rows {
+			if remap != nil {
+				r = remap[r]
+			}
 			if !omark[r] {
 				omark[r] = true
 				osup = append(osup, r)
@@ -195,18 +279,113 @@ func (s *SparseSolver) applyUpperScatter(uCol *sparse.CSC) []int {
 	return osup
 }
 
+// applyUpperScatterBlocked is applyUpperScatter over the blocked strip
+// form: bookkeeping walks each column's true entries, the SIMD kernel
+// walks the padded strip, and — when a Remap is baked in — rows land
+// directly in the caller's id domain. Value arithmetic per written row
+// is the same sequence as the scalar scatter, so the two are
+// bit-identical wherever both run in float64.
+func (s *SparseSolver) applyUpperScatterBlocked(b *BlockedCSC, f32 bool) []int {
+	n := s.inv.N
+	wsup := s.wsup
+	// The scatter must walk columns ascending; a small solve against a
+	// large factor must not pay an O(n) sweep here.
+	if PreferFlagScan(len(wsup), n) {
+		wsup = wsup[:0]
+		for r := 0; r < n; r++ {
+			if s.wmark[r] {
+				wsup = append(wsup, r)
+			}
+		}
+		s.wsup = wsup
+	} else {
+		sort.Ints(wsup)
+	}
+	out, omark, osup := s.out, s.omark, s.osup[:0]
+	var bv []float64
+	var bv32 []float32
+	if f32 {
+		bv32 = b.Vals32()
+	} else {
+		bv = b.Vals
+	}
+	for _, j := range wsup {
+		x := s.ws[j]
+		lo, hi := b.ColPtr[j], b.ColPtr[j+1]
+		cnt := b.ColCnt[j]
+		rows := b.Rows[lo : lo+cnt]
+		if int(cnt) < kernels.MinEntries {
+			// Short column: one fused pass beats a kernel call.
+			if f32 {
+				vals := bv32[lo : lo+cnt]
+				vals = vals[:len(rows)] // hint: drops the vals[k] bounds check
+				for k, r := range rows {
+					if !omark[r] {
+						omark[r] = true
+						osup = append(osup, int(r))
+					}
+					out[r] += float64(vals[k]) * x
+				}
+			} else {
+				vals := bv[lo : lo+cnt]
+				vals = vals[:len(rows)]
+				for k, r := range rows {
+					if !omark[r] {
+						omark[r] = true
+						osup = append(osup, int(r))
+					}
+					out[r] += vals[k] * x
+				}
+			}
+			continue
+		}
+		for _, r := range rows {
+			if !omark[r] {
+				omark[r] = true
+				osup = append(osup, int(r))
+			}
+		}
+		if f32 {
+			kernels.ScatterAXPY32(out, b.Rows[lo:hi], bv32[lo:hi], x)
+		} else {
+			kernels.ScatterAXPY(out, b.Rows[lo:hi], bv[lo:hi], x)
+		}
+	}
+	s.osup = osup
+	return osup
+}
+
 // applyUpperSweep computes out[u] = (U^{-1} row u) . ws for every row,
-// the dense fallback for solves whose support reaches most of the factor.
-// Rows are assigned, not accumulated, so no prior clearing is needed.
-func (s *SparseSolver) applyUpperSweep() {
+// the dense fallback for solves whose support reaches most of the
+// factor. Rows are assigned, not accumulated, so no prior clearing is
+// needed. A baked Remap redirects each assignment to the caller's id
+// domain so both applies agree on where solutions live; in Float32 mode
+// the stored values read through the half-width rendering, widened
+// exactly before each multiply.
+func (s *SparseSolver) applyUpperSweep(f32 bool) {
 	inv := s.inv
 	up, uc, uval := inv.Uinv.RowPtr, inv.Uinv.ColIdx, inv.Uinv.Val
+	var uval32 []float32
+	if f32 {
+		uval32 = inv.uinvVal32()
+	}
 	ws, out := s.ws, s.out
+	remap := inv.Remap
 	for u := 0; u < inv.N; u++ {
 		acc := 0.0
-		for p := up[u]; p < up[u+1]; p++ {
-			acc += uval[p] * ws[uc[p]]
+		if f32 {
+			for p := up[u]; p < up[u+1]; p++ {
+				acc += float64(uval32[p]) * ws[uc[p]]
+			}
+		} else {
+			for p := up[u]; p < up[u+1]; p++ {
+				acc += uval[p] * ws[uc[p]]
+			}
 		}
-		out[u] = acc
+		d := u
+		if remap != nil {
+			d = remap[u]
+		}
+		out[d] = acc
 	}
 }

@@ -21,7 +21,8 @@
 //	28      4     uint32 CRC-32C of the section table bytes
 //	32      32*k  section table, one 32-byte entry per section:
 //	                uint32 id       caller-chosen section identifier
-//	                uint32 kind     1 = int64, 2 = float64, 3 = bytes
+//	                uint32 kind     1 = int64, 2 = float64, 3 = bytes,
+//	                                4 = int32, 5 = float32
 //	                uint64 offset   start of the section data (aligned)
 //	                uint64 count    element count (bytes for kind 3)
 //	                uint32 crc      CRC-32C of the section data bytes
@@ -83,6 +84,8 @@ const (
 	KindInt64   = 1 // elements are int64 (Go int on 64-bit platforms)
 	KindFloat64 = 2 // elements are float64 (stored as IEEE-754 bits)
 	KindBytes   = 3 // raw bytes; count is the byte length
+	KindInt32   = 4 // elements are int32 (the blocked factor strips' indices)
+	KindFloat32 = 5 // elements are float32 (stored as IEEE-754 bits)
 )
 
 // Mode selects how Open backs the file's sections.
@@ -152,12 +155,21 @@ type section struct {
 	crc   uint32
 }
 
+// elemSize is the byte width of one element of a section kind.
+func elemSize(kind uint32) uint64 {
+	switch kind {
+	case KindBytes:
+		return 1
+	case KindInt32, KindFloat32:
+		return 4
+	default:
+		return 8
+	}
+}
+
 // byteLen is the section's data size in bytes.
 func (s *section) byteLen() uint64 {
-	if s.kind == KindBytes {
-		return s.count
-	}
-	return s.count * 8
+	return s.count * elemSize(s.kind)
 }
 
 // File is an open sectioned container. All accessors are safe for
@@ -183,6 +195,8 @@ type wsection struct {
 	kind uint32
 	ints []int
 	f64s []float64
+	i32s []int32
+	f32s []float32
 	raw  []byte
 }
 
@@ -203,6 +217,16 @@ func (w *Writer) AddFloats(id uint32, xs []float64) {
 // AddBytes appends a raw byte section (same aliasing rule as AddInts).
 func (w *Writer) AddBytes(id uint32, b []byte) {
 	w.sections = append(w.sections, wsection{id: id, kind: KindBytes, raw: b})
+}
+
+// AddInt32s appends an int32 section (same aliasing rule as AddInts).
+func (w *Writer) AddInt32s(id uint32, xs []int32) {
+	w.sections = append(w.sections, wsection{id: id, kind: KindInt32, i32s: xs})
+}
+
+// AddFloat32s appends a float32 section (same aliasing rule as AddInts).
+func (w *Writer) AddFloat32s(id uint32, xs []float32) {
+	w.sections = append(w.sections, wsection{id: id, kind: KindFloat32, f32s: xs})
 }
 
 // alignUp rounds n up to the next multiple of align.
@@ -229,6 +253,30 @@ func (s *wsection) payload() []byte {
 			binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
 		}
 		return buf
+	case KindInt32:
+		if len(s.i32s) == 0 {
+			return nil
+		}
+		if hostLittleEndian {
+			return unsafe.Slice((*byte)(unsafe.Pointer(&s.i32s[0])), len(s.i32s)*4)
+		}
+		buf := make([]byte, len(s.i32s)*4)
+		for i, v := range s.i32s {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(v))
+		}
+		return buf
+	case KindFloat32:
+		if len(s.f32s) == 0 {
+			return nil
+		}
+		if hostLittleEndian {
+			return unsafe.Slice((*byte)(unsafe.Pointer(&s.f32s[0])), len(s.f32s)*4)
+		}
+		buf := make([]byte, len(s.f32s)*4)
+		for i, v := range s.f32s {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		return buf
 	default:
 		if len(s.f64s) == 0 {
 			return nil
@@ -250,6 +298,10 @@ func (s *wsection) count() uint64 {
 		return uint64(len(s.raw))
 	case KindInt64:
 		return uint64(len(s.ints))
+	case KindInt32:
+		return uint64(len(s.i32s))
+	case KindFloat32:
+		return uint64(len(s.f32s))
 	default:
 		return uint64(len(s.f64s))
 	}
@@ -442,7 +494,7 @@ func (f *File) parse() error {
 			count: binary.LittleEndian.Uint64(e[16:]),
 			crc:   binary.LittleEndian.Uint32(e[24:]),
 		}
-		if s.kind != KindInt64 && s.kind != KindFloat64 && s.kind != KindBytes {
+		if s.kind < KindInt64 || s.kind > KindFloat32 {
 			return fmt.Errorf("mmapio: section %d has unknown kind %d", s.id, s.kind)
 		}
 		if s.off%align != 0 {
@@ -451,8 +503,7 @@ func (f *File) parse() error {
 		if s.off > uint64(len(data)) {
 			return fmt.Errorf("mmapio: section %d out of bounds (offset %d, file %d)", s.id, s.off, len(data))
 		}
-		if s.kind != KindBytes && s.count > (uint64(len(data))-s.off)/8 ||
-			s.kind == KindBytes && s.count > uint64(len(data))-s.off {
+		if s.count > (uint64(len(data))-s.off)/elemSize(s.kind) {
 			return fmt.Errorf("mmapio: section %d out of bounds (offset %d, count %d, file %d)", s.id, s.off, s.count, len(data))
 		}
 		if s.off < prevEnd {
@@ -552,6 +603,47 @@ func (f *File) Floats(id uint32) ([]float64, error) {
 	out := make([]float64, s.count)
 	for i := range out {
 		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+// Int32s returns section id as an []int32 (same contract as Ints;
+// zero-copy on any little-endian host — no 64-bit int requirement).
+func (f *File) Int32s(id uint32) ([]int32, error) {
+	s, err := f.lookup(id, KindInt32)
+	if err != nil {
+		return nil, err
+	}
+	if s.count == 0 {
+		return []int32{}, nil
+	}
+	b := f.data[s.off : s.off+s.count*4]
+	if hostLittleEndian {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), s.count), nil
+	}
+	out := make([]int32, s.count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
+// Float32s returns section id as a []float32 (same contract as Int32s).
+func (f *File) Float32s(id uint32) ([]float32, error) {
+	s, err := f.lookup(id, KindFloat32)
+	if err != nil {
+		return nil, err
+	}
+	if s.count == 0 {
+		return []float32{}, nil
+	}
+	b := f.data[s.off : s.off+s.count*4]
+	if hostLittleEndian {
+		return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), s.count), nil
+	}
+	out := make([]float32, s.count)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
 	}
 	return out, nil
 }

@@ -1,0 +1,255 @@
+package shard
+
+// Speculative parallel cross-shard push. The sequential push (run) is a
+// strict greedy loop — solve the shard with the most pending weighted
+// mass, scatter across its cut edges, repeat — and that order is
+// load-bearing: the float accumulation order of downstream residuals,
+// and therefore every ranked value, depends on it. The parallel push
+// must not reorder a single commit.
+//
+// So it speculates instead of reordering. The main goroutine runs the
+// exact sequential greedy loop and is the only goroutine that ever
+// touches shared push state; while it handles the current best shard,
+// up to PushWorkers-1 background workers pre-solve the *other* pending
+// shards from right-hand-side snapshots copied on the main goroutine.
+// Each snapshot carries the shard's residual version (rver, bumped on
+// every residual write); when the greedy order reaches a shard whose
+// speculative solve is ready AND whose version is unchanged, the cached
+// solution commits — through the same consumeResidual/applySolve pair,
+// in the same order, on the same bits, because an unchanged version
+// means the snapshot equals what consumeResidual drains. A changed
+// version throws the speculation away and solves synchronously.
+//
+// Workers run pure solves: each owns a private core.SparseSolver (never
+// shared with the sequential path's pooled solvers) and reads only its
+// snapshot buffers, so the only cross-goroutine edges are the
+// completion channel's send/receive pairs. Misprediction costs wasted
+// background cycles, never a changed answer. QueryStats count committed
+// work only, so a query's stats are identical to its sequential run.
+
+import (
+	"fmt"
+	"sort"
+
+	"kdash/internal/core"
+)
+
+// Speculation slot lifecycle, per shard.
+const (
+	specIdle    uint8 = iota // no speculation outstanding
+	specPending              // a worker is solving a snapshot
+	specDone                 // results parked in specY/specSup/specErr
+)
+
+// runParallel is run's speculative counterpart: identical greedy loop,
+// identical commits, background workers warming the shards the loop has
+// not reached yet. Bit-identical to the sequential push by construction
+// (see the file comment); unlike the sequential path it allocates — a
+// goroutine per speculation launch — which is the opt-in trade
+// Options.PushWorkers makes.
+//
+//kdash:deterministic
+//kdash:ctxloop
+func (st *pushState) runParallel(w []float64) (QueryStats, error) {
+	var qs QueryStats
+	sx := st.sx
+	s := len(sx.parts)
+	tol := sx.qtol * st.initial
+	st.ensureSpec()
+	// Workers hold references into this state's buffers and solvers:
+	// every return path must wait them out before the state can go back
+	// to the pool.
+	defer st.drainSpec()
+
+	total, weighted := st.initial, st.initial
+	for {
+		best, bestMass := -1, 0.0
+		total, weighted = 0, 0
+		for si := 0; si < s; si++ {
+			total += st.resMass[si]
+			m := st.resMass[si]
+			if w != nil {
+				m *= w[si]
+			}
+			weighted += m
+			if m > bestMass {
+				best, bestMass = si, m
+			}
+		}
+		if weighted <= tol || best < 0 || qs.Solves >= maxSolves {
+			break
+		}
+		if st.ctx != nil {
+			if err := st.ctx.Err(); err != nil {
+				return qs, fmt.Errorf("shard: query cancelled after %d solves: %w", qs.Solves, err)
+			}
+		}
+		st.reapSpec(false)
+		st.launchSpecs(w, best)
+		st.commitShard(best, &qs)
+	}
+	qs.ResidualMass = total
+	qs.Converged = weighted <= tol
+	for si := 0; si < s; si++ {
+		if st.resMass[si] > 0 && !st.solved[si] {
+			qs.ShardsPruned++
+		}
+	}
+	return qs, nil
+}
+
+// ensureSpec sizes the speculative-push state on this instance's first
+// parallel run; pooled reuse keeps it (and its per-shard solvers) for
+// every later query.
+func (st *pushState) ensureSpec() {
+	if st.specState != nil {
+		return
+	}
+	s := len(st.sx.parts)
+	st.rver = make([]uint64, s)
+	st.specSolvers = make([]*core.SparseSolver, s)
+	st.specIdx = make([][]int, s)
+	st.specVal = make([][]float64, s)
+	st.specVer = make([]uint64, s)
+	st.specY = make([][]float64, s)
+	st.specSup = make([][]int, s)
+	st.specErr = make([]error, s)
+	st.specState = make([]uint8, s)
+	st.specCh = make(chan int, s)
+}
+
+// commitShard folds shard best's pending residual into the solution:
+// through a valid speculative solve when one is ready, synchronously
+// otherwise. Both paths drain the residual and apply the solution with
+// the same calls in the same order — the committed bits never depend on
+// which path ran. A speculation still in flight for best is waited for
+// rather than duplicated.
+//
+//kdash:deterministic
+func (st *pushState) commitShard(best int, qs *QueryStats) {
+	for st.specState[best] == specPending {
+		st.reapSpec(true)
+	}
+	if st.specState[best] == specDone {
+		st.specState[best] = specIdle
+		if st.specErr[best] == nil && st.specVer[best] == st.rver[best] {
+			// Unchanged version: the snapshot the worker solved equals
+			// the residual drained here, entry for entry.
+			st.consumeResidual(best)
+			st.applySolve(best, st.specY[best], st.specSup[best], qs)
+			return
+		}
+	}
+	st.solveShard(best, qs)
+}
+
+// launchSpecs tops the background workers up to the budget with the
+// heaviest pending shards other than best, which the main goroutine is
+// about to handle. A done-but-stale slot (its shard received more
+// residual after the snapshot) is relaunched with a fresh snapshot.
+func (st *pushState) launchSpecs(w []float64, best int) {
+	budget := st.sx.pushWorkers - 1
+	for st.specInFlight < budget {
+		cand, candMass := -1, 0.0
+		for si := range st.resMass {
+			if si == best || st.resMass[si] <= 0 {
+				continue
+			}
+			switch st.specState[si] {
+			case specPending:
+				continue
+			case specDone:
+				if st.specErr[si] == nil && st.specVer[si] == st.rver[si] {
+					continue // still valid: ready to commit, nothing to redo
+				}
+			}
+			m := st.resMass[si]
+			if w != nil {
+				m *= w[si]
+			}
+			if m > candMass {
+				cand, candMass = si, m
+			}
+		}
+		if cand < 0 {
+			return
+		}
+		st.launchSpec(cand)
+	}
+}
+
+// launchSpec snapshots shard si's residual and hands it to a background
+// worker. The snapshot copy, the version stamp and the solver checkout
+// (including a possible lazy shard open) all happen on the calling
+// goroutine; the worker runs only the solver's kernel on its private
+// workspace and parks the result for the channel receive to publish.
+func (st *pushState) launchSpec(si int) {
+	if st.specSolvers[si] == nil {
+		st.specSolvers[si] = st.sx.parts[si].index().NewSparseSolver()
+	}
+	idx, val := st.snapshotResidual(si)
+	st.specVer[si] = st.rver[si]
+	st.specState[si] = specPending
+	st.specInFlight++
+	sl := st.specSolvers[si]
+	go func() {
+		y, sup, err := sl.SolveSparse(idx, val)
+		st.specY[si], st.specSup[si], st.specErr[si] = y, sup, err
+		st.specCh <- si
+	}()
+}
+
+// snapshotResidual copies shard si's pending residual into its spec
+// buffers — same ascending order, same nonzero filter as
+// consumeResidual — without consuming it: the mass stays pending until
+// the greedy order actually picks the shard.
+func (st *pushState) snapshotResidual(si int) ([]int, []float64) {
+	sup := st.rsup[si]
+	sort.Ints(sup)
+	idx, val := st.specIdx[si][:0], st.specVal[si][:0]
+	rb := st.res[si]
+	for _, lv := range sup {
+		if v := rb[lv]; v != 0 {
+			idx = append(idx, lv)
+			val = append(val, v)
+		}
+	}
+	st.specIdx[si], st.specVal[si] = idx, val
+	return idx, val
+}
+
+// reapSpec collects finished speculative solves into their done slots;
+// with block set it waits for at least one completion first (callers
+// only block while a speculation they need is pending, so a receive is
+// guaranteed to arrive).
+func (st *pushState) reapSpec(block bool) {
+	for st.specInFlight > 0 {
+		if block {
+			st.specRecv(<-st.specCh)
+			block = false
+			continue
+		}
+		select {
+		case si := <-st.specCh:
+			st.specRecv(si)
+		default:
+			return
+		}
+	}
+}
+
+func (st *pushState) specRecv(si int) {
+	st.specInFlight--
+	st.specState[si] = specDone
+}
+
+// drainSpec waits out every in-flight worker and resets the slots to
+// idle — the between-queries invariant for a pooled state's spec side.
+func (st *pushState) drainSpec() {
+	for st.specInFlight > 0 {
+		st.specRecv(<-st.specCh)
+	}
+	for si := range st.specState {
+		st.specState[si] = specIdle
+	}
+}

@@ -1,0 +1,219 @@
+package shard
+
+// Bit-identity tests for the speculative parallel push. The contract
+// under test is absolute: with PushWorkers set, every query surface
+// returns the same bits — same nodes, same float64 scores, same
+// QueryStats — as the sequential push on the same index, because the
+// parallel push commits the identical greedy solve sequence and only
+// uses a speculative result when its right-hand side provably matches.
+// Run under -race these tests also exercise the worker handoff
+// (snapshot on main, solve on worker, publish via channel) for data
+// races.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"kdash/internal/core"
+	"kdash/internal/reorder"
+	"kdash/internal/testutil"
+)
+
+func TestParallelPushBitIdentical(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		for _, seed := range []int64{1, 2, 3} {
+			rng := rand.New(rand.NewSource(seed))
+			g := testutil.Random(rng)
+			sx, err := Build(g, Options{Shards: shards, Reorder: reorder.Hybrid, Seed: seed})
+			if err != nil {
+				t.Fatalf("shards %d seed %d: %v", shards, seed, err)
+			}
+			for _, workers := range []int{2, 4} {
+				queries := rng.Perm(g.N())
+				if len(queries) > 24 {
+					queries = queries[:24]
+				}
+				for _, q := range queries {
+					sx.pushWorkers = 0
+					seqR, seqQS, err := sx.TopK(q, 10)
+					if err != nil {
+						t.Fatalf("shards %d seed %d q %d: sequential: %v", shards, seed, q, err)
+					}
+					sx.pushWorkers = workers
+					parR, parQS, err := sx.TopK(q, 10)
+					sx.pushWorkers = 0
+					if err != nil {
+						t.Fatalf("shards %d seed %d q %d: parallel: %v", shards, seed, q, err)
+					}
+					if len(seqR) != len(parR) {
+						t.Fatalf("shards %d seed %d q %d workers %d: %d vs %d results", shards, seed, q, workers, len(seqR), len(parR))
+					}
+					for i := range seqR {
+						if seqR[i].Node != parR[i].Node || math.Float64bits(seqR[i].Score) != math.Float64bits(parR[i].Score) {
+							t.Fatalf("shards %d seed %d q %d workers %d: result %d diverged: sequential (%d, %x) parallel (%d, %x)",
+								shards, seed, q, workers, i,
+								seqR[i].Node, math.Float64bits(seqR[i].Score),
+								parR[i].Node, math.Float64bits(parR[i].Score))
+						}
+					}
+					if seqQS != parQS {
+						t.Fatalf("shards %d seed %d q %d workers %d: stats diverged: sequential %+v parallel %+v", shards, seed, q, workers, seqQS, parQS)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelPushPersonalizedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := testutil.Random(rng)
+	sx, err := Build(g, Options{Shards: 6, Reorder: reorder.Hybrid, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		seeds := map[int]float64{}
+		for len(seeds) < 3 {
+			seeds[rng.Intn(g.N())] = 0.25 + rng.Float64()
+		}
+		sx.pushWorkers = 0
+		seqR, _, err := sx.TopKPersonalized(seeds, 10)
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		sx.pushWorkers = 4
+		parR, _, err := sx.TopKPersonalized(seeds, 10)
+		sx.pushWorkers = 0
+		if err != nil {
+			t.Fatalf("trial %d parallel: %v", trial, err)
+		}
+		if len(seqR) != len(parR) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(seqR), len(parR))
+		}
+		for i := range seqR {
+			if seqR[i].Node != parR[i].Node || math.Float64bits(seqR[i].Score) != math.Float64bits(parR[i].Score) {
+				t.Fatalf("trial %d: result %d diverged: sequential (%d, %x) parallel (%d, %x)",
+					trial, i, seqR[i].Node, math.Float64bits(seqR[i].Score), parR[i].Node, math.Float64bits(parR[i].Score))
+			}
+		}
+	}
+}
+
+// TestParallelPushConcurrentQueries runs many parallel-push queries at
+// once against one index: pool checkout must hand every request a
+// private state, and each state's workers must stay confined to it.
+// This is the main -race target for the speculative push.
+func TestParallelPushConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := testutil.Random(rng)
+	sx, err := Build(g, Options{Shards: 8, Reorder: reorder.Hybrid, Seed: 11, PushWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := rng.Perm(g.N())
+	if len(queries) > 32 {
+		queries = queries[:32]
+	}
+	// Sequential reference answers first.
+	type answer struct {
+		nodes  []int
+		scores []uint64
+	}
+	want := make([]answer, len(queries))
+	sx.pushWorkers = 0
+	for i, q := range queries {
+		rs, _, err := sx.TopK(q, 10)
+		if err != nil {
+			t.Fatalf("reference q %d: %v", q, err)
+		}
+		for _, r := range rs {
+			want[i].nodes = append(want[i].nodes, r.Node)
+			want[i].scores = append(want[i].scores, math.Float64bits(r.Score))
+		}
+	}
+	sx.pushWorkers = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i, q := range queries {
+					rs, _, err := sx.TopK(q, 10)
+					if err != nil {
+						select {
+						case errs <- err:
+						default:
+						}
+						return
+					}
+					ok := len(rs) == len(want[i].nodes)
+					if ok {
+						for j, r := range rs {
+							if r.Node != want[i].nodes[j] || math.Float64bits(r.Score) != want[i].scores[j] {
+								ok = false
+								break
+							}
+						}
+					}
+					if !ok {
+						select {
+						case errs <- fmt.Errorf("concurrent parallel push diverged from sequential reference on query %d", q):
+						default:
+						}
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestParallelPushCancel checks a cancelled context abandons a parallel
+// push cleanly: the error surfaces, in-flight workers are drained, and
+// the pooled state is reusable for a correct follow-up query.
+func TestParallelPushCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := testutil.Random(rng)
+	sx, err := Build(g, Options{Shards: 8, Reorder: reorder.Hybrid, Seed: 13, PushWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := rng.Intn(g.N())
+	if _, _, err := sx.Search(q, core.SearchOptions{K: 10, Ctx: ctx}); err == nil {
+		t.Fatal("cancelled parallel query returned nil error")
+	}
+	// The same pooled state must now serve a clean query.
+	sx.pushWorkers = 0
+	wantR, _, err := sx.TopK(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sx.pushWorkers = 4
+	gotR, _, err := sx.TopK(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantR) != len(gotR) {
+		t.Fatalf("after cancel: %d vs %d results", len(wantR), len(gotR))
+	}
+	for i := range wantR {
+		if wantR[i].Node != gotR[i].Node || math.Float64bits(wantR[i].Score) != math.Float64bits(gotR[i].Score) {
+			t.Fatalf("after cancel: result %d diverged", i)
+		}
+	}
+}

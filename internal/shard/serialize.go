@@ -43,6 +43,7 @@ import (
 
 	"kdash/internal/core"
 	"kdash/internal/graph"
+	"kdash/internal/lu"
 	"kdash/internal/mmapio"
 	"kdash/internal/reorder"
 )
@@ -293,6 +294,15 @@ type LoadOptions struct {
 	// Without Lazy every shard opens (and validates) before Open
 	// returns.
 	Lazy bool
+	// Precision selects the factor value width queries solve with, as
+	// Options.Precision does at build time. Persisted files always hold
+	// exact float64 factors; lu.Float32 renders half-width value strips
+	// at open time.
+	Precision lu.Precision
+	// PushWorkers enables the speculative parallel cross-shard push for
+	// queries against the loaded index, as Options.PushWorkers does at
+	// build time (<2 = sequential).
+	PushWorkers int
 }
 
 // Load reads a sharded index previously written by Save, fully
@@ -355,6 +365,8 @@ func Open(dir string, opt LoadOptions) (*ShardedIndex, error) {
 		seed:           m.Seed,
 		epoch:          m.Epoch,
 		stalenessLimit: m.StalenessLimit,
+		precision:      opt.Precision,
+		pushWorkers:    opt.PushWorkers,
 	}
 	if sx.qtol <= 0 {
 		sx.qtol = DefaultQueryTol
@@ -477,6 +489,7 @@ func newShardOpener(sx *ShardedIndex, p *part, si int, path string, mode mmapio.
 			ix.Close()
 			return nil, fmt.Errorf("shard %d built with restart %v, manifest says %v", si, ix.Restart(), sx.c)
 		}
+		ix.SetPrecision(sx.precision)
 		return ix, nil
 	}}
 }

@@ -43,6 +43,8 @@ import (
 	"kdash/internal/core"
 	"kdash/internal/graph"
 	"kdash/internal/louvain"
+	"kdash/internal/lu"
+	"kdash/internal/lu/kernels"
 	"kdash/internal/reorder"
 	"kdash/internal/rwr"
 )
@@ -75,6 +77,18 @@ type Options struct {
 	// re-homed to their best-connected shards). Zero selects
 	// DefaultStalenessLimit; negative disables re-partitioning.
 	StalenessLimit int
+	// Precision selects the factor-strip value width queries solve with.
+	// The zero value (lu.Float64) is exact; lu.Float32 streams
+	// half-width value strips through the scatter kernels (accumulation
+	// stays float64 — see lu.Precision for the error contract).
+	Precision lu.Precision
+	// PushWorkers enables the speculative parallel cross-shard push:
+	// while the deterministic greedy loop solves the heaviest shard,
+	// up to PushWorkers-1 background workers pre-solve the other
+	// pending shards so their results are ready when the greedy order
+	// reaches them. Answers are bit-identical to the sequential push.
+	// Values below 2 (the zero default) keep the push sequential.
+	PushWorkers int
 }
 
 // DefaultQueryTol keeps query answers exact to ~1e-15, far inside the
@@ -231,6 +245,12 @@ type ShardedIndex struct {
 	staleness      []int
 	epoch          int
 
+	// Query-path tuning carried from Options/LoadOptions: the factor
+	// value precision every shard index solves with, and the worker
+	// budget of the speculative parallel push (<2 = sequential).
+	precision   lu.Precision
+	pushWorkers int
+
 	// gOnce/gLoad defer the graph snapshot's parse for lazily opened
 	// directories: the snapshot exists only for Apply (and re-Save), so
 	// a query-serving cold start never pays the O(m) edge-list parse.
@@ -258,6 +278,15 @@ type ShardedIndex struct {
 	// Same lazy-once lifecycle as revAdj.
 	inTOnce   sync.Once
 	inTargets [][]int
+
+	// cutBits[si] holds one bit per local row of shard si: set iff the
+	// row has outgoing cut edges. The push's consume loop tests the bit
+	// instead of loading two cutPtr offsets per solved row — at a bit
+	// per row the whole table stays cache-resident, and most solved
+	// rows are interior (no cuts), so the common case costs one L1 load.
+	// Same lazy-once lifecycle as revAdj.
+	cutBitsOnce sync.Once
+	cutBits     [][]uint64
 
 	// pushPool recycles complete single-query push states (solution and
 	// residual vectors, touched-entry lists, per-shard sparse solvers)
@@ -310,6 +339,25 @@ func (sx *ShardedIndex) cutTargets() [][]int {
 		sx.inTargets = targets
 	})
 	return sx.inTargets
+}
+
+// cutEdgeBits returns the per-shard has-cut-edges bitsets, building
+// them on first use.
+func (sx *ShardedIndex) cutEdgeBits() [][]uint64 {
+	sx.cutBitsOnce.Do(func() {
+		bits := make([][]uint64, len(sx.parts))
+		for si, p := range sx.parts {
+			b := make([]uint64, (len(p.nodes)+63)/64)
+			for lv := 0; lv+1 < len(p.cutPtr); lv++ {
+				if p.cutPtr[lv+1] > p.cutPtr[lv] {
+					b[lv>>6] |= 1 << (uint(lv) & 63)
+				}
+			}
+			bits[si] = b
+		}
+		sx.cutBits = bits
+	})
+	return sx.cutBits
 }
 
 // reverseShardAdj returns the deduplicated reverse adjacency of the
@@ -409,6 +457,8 @@ func Build(g *graph.Graph, opt Options) (*ShardedIndex, error) {
 		workers:        opt.Workers,
 		stalenessLimit: limit,
 		staleness:      make([]int, s),
+		precision:      opt.Precision,
+		pushWorkers:    opt.PushWorkers,
 	}
 	for i := range sx.parts {
 		sx.parts[i] = &part{}
@@ -637,6 +687,7 @@ func (sx *ShardedIndex) buildPart(g *graph.Graph, si int, method reorder.Method,
 	// dirty blocks from the partition-level snapshot (sx.g) — so keeping
 	// it would pin a second full copy of the adjacency across the parts.
 	ix.ReleaseGraph()
+	ix.SetPrecision(sx.precision)
 	p.ix = ix
 	p.sink = hasLeak
 	return nil
@@ -685,6 +736,10 @@ func (sx *ShardedIndex) Statz() map[string]interface{} {
 			"solves":     sc,
 		}
 	}
+	precision := "float64"
+	if sx.precision == lu.Float32 {
+		precision = "float32"
+	}
 	return map[string]interface{}{
 		"kind":          "sharded",
 		"nodes":         sx.n,
@@ -696,6 +751,9 @@ func (sx *ShardedIndex) Statz() map[string]interface{} {
 		"cutEdges":      sx.stats.CutEdges,
 		"cutWeightFrac": sx.stats.CutWeightFrac,
 		"nnzInverse":    sx.stats.NNZInverse,
+		"kernels":       kernels.Impl(),
+		"precision":     precision,
+		"pushWorkers":   sx.pushWorkers,
 		"perShard":      shards,
 	}
 }

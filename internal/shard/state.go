@@ -49,6 +49,29 @@ type pushState struct {
 	rhsIdx []int
 	rhsVal []float64
 
+	// rver counts residual writes per shard this query — the version
+	// stamp the speculative parallel push validates cached solves
+	// against (see runParallel). Allocated on the first parallel run;
+	// nil on the sequential path, which never reads it.
+	rver []uint64
+
+	// Speculative-push state (see parallel.go), allocated alongside rver
+	// on the first parallel run and nil for sequential-only states: one
+	// private solver per shard for background solves, the per-shard
+	// right-hand-side snapshots handed to workers, the residual version
+	// each snapshot was taken at, the workers' results, and the slot
+	// lifecycle (idle/pending/done) with its completion channel.
+	specSolvers  []*core.SparseSolver
+	specIdx      [][]int
+	specVal      [][]float64
+	specVer      []uint64
+	specY        [][]float64
+	specSup      [][]int
+	specErr      []error
+	specState    []uint8
+	specCh       chan int
+	specInFlight int
+
 	initial float64 // total seeded mass this query
 
 	// Per-query opt-ins, set by the caller after checkout and cleared
@@ -119,6 +142,9 @@ func (st *pushState) addRes(si, lv int, m float64) {
 	}
 	st.res[si][lv] += m
 	st.resMass[si] += m
+	if st.rver != nil {
+		st.rver[si]++
+	}
 }
 
 // run drives the push to convergence (see pushWeighted for the weighting
@@ -132,8 +158,16 @@ func (st *pushState) addRes(si, lv int, m float64) {
 //kdash:deterministic
 //kdash:ctxloop
 func (st *pushState) run(w []float64) (QueryStats, error) {
-	var qs QueryStats
 	sx := st.sx
+	if sx.pushWorkers > 1 && st.tr == nil && len(sx.parts) > 1 {
+		// Speculative parallel push: same greedy commit order, same
+		// bits, background workers pre-solving the other pending
+		// shards. Traced queries stay sequential — the per-solve wall
+		// clocks a trace records would fold speculation wait into
+		// solve time.
+		return st.runParallel(w)
+	}
+	var qs QueryStats
 	s := len(sx.parts)
 	tol := sx.qtol * st.initial
 
@@ -210,18 +244,13 @@ func (st *pushState) traceSolve(best int, totalBefore float64, qs *QueryStats) {
 	}, after)
 }
 
-// solveShard consumes shard best's residual through the shard's sparse
-// solver, accumulates the solution and scatters solved mass across the
-// cut edges — all proportional to the solve's actual support.
+// consumeResidual drains shard best's residual into an ascending sparse
+// right-hand side in st.rhsIdx/st.rhsVal — the accumulation order the
+// dense reference solve uses — zeroing the residual in the same pass
+// (the solve absorbs the mass).
 //
 //kdash:noalloc
-func (st *pushState) solveShard(best int, qs *QueryStats) {
-	sx := st.sx
-	p := sx.parts[best]
-
-	// Gather the residual into an ascending sparse right-hand side — the
-	// accumulation order the dense reference solve uses — consuming it in
-	// the same pass (the solve absorbs the mass).
+func (st *pushState) consumeResidual(best int) ([]int, []float64) {
 	sup := st.rsup[best]
 	sort.Ints(sup)
 	idx, val := st.rhsIdx[:0], st.rhsVal[:0]
@@ -237,19 +266,48 @@ func (st *pushState) solveShard(best int, qs *QueryStats) {
 	st.rhsIdx, st.rhsVal = idx, val
 	st.rsup[best] = sup[:0]
 	st.resMass[best] = 0
+	return idx, val
+}
 
-	solver := st.solvers[best]
-	if solver == nil {
-		// index() is where a lazily loaded shard file is first mapped:
-		// a shard is opened when a query actually solves it, never
-		// before.
-		solver = p.index().NewSparseSolver()
-		st.solvers[best] = solver
+// solver returns shard si's pooled single-lane solver, creating it on
+// first use. index() is where a lazily loaded shard file is first
+// mapped: a shard is opened when a query actually solves it, never
+// before.
+//
+//kdash:pooled
+func (st *pushState) solver(si int) *core.SparseSolver {
+	if st.solvers[si] == nil {
+		st.solvers[si] = st.sx.parts[si].index().NewSparseSolver() //kdash:allow(hotalloc) first touch of a shard creates its solver once per pooled state
 	}
-	y, ysup, err := solver.SolveSparse(idx, val)
+	return st.solvers[si]
+}
+
+// solveShard consumes shard best's residual through the shard's sparse
+// solver, accumulates the solution and scatters solved mass across the
+// cut edges — all proportional to the solve's actual support.
+//
+//kdash:noalloc
+func (st *pushState) solveShard(best int, qs *QueryStats) {
+	idx, val := st.consumeResidual(best)
+	y, ysup, err := st.solver(best).SolveSparse(idx, val)
 	if err != nil {
 		panic(fmt.Sprintf("shard: internal solve shape mismatch: %v", err)) //kdash:allow(hotalloc) unreachable: rhs is gathered from partLen-sized vectors
 	}
+	st.applySolve(best, y, ysup, qs)
+}
+
+// applySolve folds one shard solve into the push: the solution
+// accumulates into x over the solve's support, and solved mass scatters
+// across the cut edges into the other shards' residuals. The support is
+// walked in the solver's first-touch order — the float accumulation
+// order downstream residuals depend on — so a cached speculative solve
+// commits bit-identically to a synchronous one.
+//
+//kdash:noalloc
+//kdash:deterministic
+func (st *pushState) applySolve(best int, y []float64, ysup []int, qs *QueryStats) {
+	sx := st.sx
+	p := sx.parts[best]
 	qs.Solves++
 	sx.solveCounters()[best].Add(1)
 	if !st.solved[best] {
@@ -261,6 +319,7 @@ func (st *pushState) solveShard(best int, qs *QueryStats) {
 		st.xmark[best] = make([]bool, len(p.nodes)) //kdash:allow(hotalloc) paired first-touch sizing
 	}
 	xb, xm := st.x[best], st.xmark[best]
+	cb := sx.cutEdgeBits()[best]
 	consume := func(lv int) {
 		yv := y[lv]
 		if yv == 0 {
@@ -271,9 +330,13 @@ func (st *pushState) solveShard(best int, qs *QueryStats) {
 			xm[lv] = true
 			st.xsup[best] = append(st.xsup[best], lv)
 		}
-		for ci := p.cutPtr[lv]; ci < p.cutPtr[lv+1]; ci++ {
-			e := p.cuts[ci]
-			st.addRes(e.dstShard, e.dst, e.w*yv)
+		// One cache-resident bit test replaces two cutPtr loads; most
+		// solved rows are interior and stop here.
+		if cb[lv>>6]&(1<<(uint(lv)&63)) != 0 {
+			for ci := p.cutPtr[lv]; ci < p.cutPtr[lv+1]; ci++ {
+				e := p.cuts[ci]
+				st.addRes(e.dstShard, e.dst, e.w*yv)
+			}
 		}
 	}
 	if ysup != nil {

@@ -37,6 +37,7 @@ import (
 
 	"kdash/internal/core"
 	"kdash/internal/graph"
+	"kdash/internal/lu"
 	"kdash/internal/mmapio"
 	"kdash/internal/reorder"
 	"kdash/internal/rwr"
@@ -155,7 +156,29 @@ type OpenOptions struct {
 	// Combined with Mmap this is the instant-cold-start configuration:
 	// open time is O(shards touched), resident memory O(bytes queried).
 	Lazy bool
+	// Precision selects the factor-value width the single-lane solve
+	// path reads (see Precision); files always store exact float64.
+	Precision Precision
+	// PushWorkers, for sharded indexes, enables the speculative
+	// parallel cross-shard push (see ShardOptions.PushWorkers).
+	PushWorkers int
 }
+
+// Precision selects the stored width of factor values on the
+// single-lane solve path: PrecisionFloat64 (exact, the default, the
+// mode the paper's guarantee covers) or PrecisionFloat32 (half the
+// value bandwidth; values are widened to float64 before every multiply
+// and accumulated in float64, so the divergence from exact is a few
+// float32 ulps — measured at ~1e-7 relative worst-case by the
+// differential suite, documented in docs/ARCHITECTURE.md).
+type Precision = lu.Precision
+
+const (
+	// PrecisionFloat64 is the exact default.
+	PrecisionFloat64 = lu.Float64
+	// PrecisionFloat32 streams half-width factor value strips.
+	PrecisionFloat32 = lu.Float32
+)
 
 // mode maps the public knob onto the internal backing mode.
 func (o OpenOptions) mode() mmapio.Mode {
@@ -168,14 +191,22 @@ func (o OpenOptions) mode() mmapio.Mode {
 // OpenIndex opens a saved monolithic index directly from a file,
 // memory-mapping it when opt.Mmap is set (see OpenOptions).
 func OpenIndex(path string, opt OpenOptions) (*Index, error) {
-	return core.OpenIndexFile(path, opt.mode())
+	ix, err := core.OpenIndexFile(path, opt.mode())
+	if err != nil {
+		return nil, err
+	}
+	ix.SetPrecision(opt.Precision)
+	return ix, nil
 }
 
 // OpenShardedIndex opens a saved sharded index directory with explicit
 // backing (opt.Mmap) and laziness (opt.Lazy) choices; see OpenOptions.
 // ShardedIndex.Close releases whatever mappings were established.
 func OpenShardedIndex(dir string, opt OpenOptions) (*ShardedIndex, error) {
-	return shard.Open(dir, shard.LoadOptions{Mode: opt.mode(), Lazy: opt.Lazy})
+	return shard.Open(dir, shard.LoadOptions{
+		Mode: opt.mode(), Lazy: opt.Lazy,
+		Precision: opt.Precision, PushWorkers: opt.PushWorkers,
+	})
 }
 
 // ShardedIndex is a partitioned K-dash index: the graph is split into
