@@ -30,6 +30,17 @@
 // log/slog: one line per request with endpoint, status, latency and a
 // trace id.
 //
+// -wal-dir enables durable update mode: POST /update acks with a 202
+// after a write-ahead log append (microseconds) and a background
+// compactor folds acked batches into the serving index; queries wait on
+// an exactness barrier so answers are always bit-identical to a
+// synchronous apply. -wal-fsync picks the durability policy,
+// -compact-interval the drain cadence, and -wal-snapshot-dir enables
+// periodic WAL-stamped snapshots (preferred at startup, log truncated
+// behind them). On crash, the log replays over the freshest snapshot or
+// the original index. -default-timeout bounds each query's compute
+// budget; clients override per request with ?budget=<duration>.
+//
 // With -mmap, a v3 index is memory-mapped read-only instead of parsed:
 // the server takes traffic milliseconds after exec, shard files are
 // opened lazily as queries reach them, and /statz reports open time,
@@ -54,6 +65,7 @@ import (
 
 	"kdash"
 	"kdash/internal/server"
+	"kdash/internal/wal"
 )
 
 // buildLogger assembles the request logger from the -log-format and
@@ -94,6 +106,12 @@ func main() {
 		readTimeout     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout    = flag.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
 		shutdownTimeout = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for draining in-flight queries on SIGINT/SIGTERM")
+		defaultTimeout  = flag.Duration("default-timeout", 0, "per-query compute budget applied when the request carries no ?budget= override (0 = unbounded)")
+
+		walDir          = flag.String("wal-dir", "", "write-ahead log directory: /update acks after a log append and a background compactor folds batches in (empty = synchronous updates)")
+		walFsync        = flag.String("wal-fsync", "interval", `WAL durability policy: "always" (fsync before every ack), "interval" (background fsync, bounded loss window), "none" (OS page cache only)`)
+		compactInterval = flag.Duration("compact-interval", server.DefaultCompactInterval, "WAL compactor tick: the longest an acked batch waits before a drain folds it into the serving index")
+		walSnapshotDir  = flag.String("wal-snapshot-dir", "", "directory for periodic WAL-stamped index snapshots; on start the newest snapshot there is preferred over -graph/-load-index, and the log truncates behind each snapshot")
 
 		logFormat = flag.String("log-format", "", `structured request logging: "text" or "json" (empty = off)`)
 		logLevel  = flag.String("log-level", "info", "minimum request-log level: debug, info, warn or error")
@@ -117,6 +135,16 @@ func main() {
 	var engine server.Engine
 	openMode := "built"
 	tOpen := time.Now()
+	// A WAL snapshot is strictly newer than whatever -graph/-load-index
+	// points at (it is that index plus compacted updates), so recovery
+	// prefers it when one exists.
+	if *walSnapshotDir != "" {
+		if snap, ok := server.LatestSnapshot(*walSnapshotDir); ok {
+			log.Printf("recovering from WAL snapshot %s", snap)
+			*loadIdx = snap
+			*graphPath = ""
+		}
+	}
 	switch {
 	case *loadIdx != "" && kdash.IsShardedIndexDir(*loadIdx):
 		// -mmap maps shard files zero-copy AND defers each open to the
@@ -184,13 +212,36 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	handlerOpts := []server.Option{
+		server.WithCache(*cacheSize),
+		server.WithMaxBatch(*maxBatch),
+		server.WithOpenInfo(time.Since(tOpen), openMode),
+		server.WithRequestLog(requestLog),
+		server.WithDefaultTimeout(*defaultTimeout),
+	}
+	var handler *server.Handler
+	if *walDir != "" {
+		sync, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kdash-server: -wal-fsync: %v\n", err)
+			os.Exit(2)
+		}
+		handler, err = server.NewDurable(engine, server.WALConfig{
+			Dir:             *walDir,
+			Sync:            sync,
+			CompactInterval: *compactInterval,
+			SnapshotDir:     *walSnapshotDir,
+		}, handlerOpts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("durable updates: WAL at %s (fsync=%s, compact every %v)", *walDir, *walFsync, *compactInterval)
+	} else {
+		handler = server.New(engine, handlerOpts...)
+	}
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: server.New(engine,
-			server.WithCache(*cacheSize),
-			server.WithMaxBatch(*maxBatch),
-			server.WithOpenInfo(time.Since(tOpen), openMode),
-			server.WithRequestLog(requestLog)),
+		Addr:         *addr,
+		Handler:      handler,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 	}
@@ -211,6 +262,11 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(sctx); err != nil {
 			log.Fatalf("shutdown: %v", err)
+		}
+		// Drain the WAL memtable through one final compaction and close
+		// the log (a no-op outside WAL mode).
+		if err := handler.Close(); err != nil {
+			log.Fatalf("wal close: %v", err)
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("serve: %v", err)

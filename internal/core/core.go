@@ -1232,6 +1232,19 @@ func (ix *Index) ProximityVector(q int) ([]float64, error) {
 	return out, nil
 }
 
+// ProximityVectorCtx is ProximityVector with best-effort cancellation:
+// the monolithic vector is one indivisible factor solve, so the context
+// is checked once before it starts (a blown budget skips the solve; an
+// in-flight solve runs to completion). A nil ctx never cancels.
+func (ix *Index) ProximityVectorCtx(ctx context.Context, q int) ([]float64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: query cancelled: %w", err)
+		}
+	}
+	return ix.ProximityVector(q)
+}
+
 // Proximity computes the single exact proximity of node u w.r.t. query q
 // through a pooled workspace: one L^{-1} column scatter, one U^{-1} row
 // dot, no allocation.

@@ -30,8 +30,9 @@ type UpdateStats struct {
 	EdgesAdded    int           `json:"edgesAdded"`
 	EdgesRemoved  int           `json:"edgesRemoved"`
 	NodesAdded    int           `json:"nodesAdded"`
-	Epoch         int           `json:"epoch"`         // successor's epoch number
-	ShardsRebuilt int           `json:"shardsRebuilt"` // shards refactorized (all, for a monolithic rebuild)
+	Epoch         int           `json:"epoch"`                 // successor's epoch number
+	ShardsRebuilt int           `json:"shardsRebuilt"`         // shards refactorized (all, for a monolithic rebuild)
+	DirtyShards   []int         `json:"dirtyShards,omitempty"` // ids of the refactorized shards (nil when unknown or FullRebuild)
 	Repartitioned bool          `json:"repartitioned"`
 	FullRebuild   bool          `json:"fullRebuild"` // true when nothing was reused
 	BuildTime     time.Duration `json:"buildTimeNs"`

@@ -244,9 +244,9 @@ func TestUpdateScaleShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 3 update kinds + 2 baselines.
-	if len(rows) != 5 {
-		t.Fatalf("rows = %d, want 5", len(rows))
+	// 3 update kinds + 2 WAL ack policies + 2 baselines.
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
 	}
 	kinds := map[string]UpdateRow{}
 	for _, r := range rows {
@@ -262,6 +262,18 @@ func TestUpdateScaleShape(t *testing.T) {
 	full := kinds["full-rebuild"]
 	if full.Mean <= intra.Mean {
 		t.Errorf("full rebuild (%v) not slower than incremental update (%v)", full.Mean, intra.Mean)
+	}
+	for _, kind := range []string{"wal-ack-interval", "wal-ack-always"} {
+		ack, ok := kinds[kind]
+		if !ok {
+			t.Fatalf("missing %s row", kind)
+		}
+		if ack.Mean >= intra.Mean {
+			t.Errorf("%s ack (%v) not faster than the synchronous apply (%v)", kind, ack.Mean, intra.Mean)
+		}
+		if ack.P50 <= 0 {
+			t.Errorf("%s: p50 not recorded", kind)
+		}
 	}
 	var buf bytes.Buffer
 	WriteUpdateRows(&buf, rows)

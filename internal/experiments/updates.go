@@ -15,12 +15,19 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"kdash/internal/gen"
 	"kdash/internal/graph"
 	"kdash/internal/reorder"
+	"kdash/internal/server"
 	"kdash/internal/shard"
+	"kdash/internal/wal"
 )
 
 // UpdateRow is one measurement of the update experiment.
@@ -28,6 +35,7 @@ type UpdateRow struct {
 	Kind          string        // update kind or baseline name
 	Updates       int           // measured updates averaged (1 for baselines)
 	Mean          time.Duration // mean wall clock per update
+	P50           time.Duration // median wall clock per update (0 for baselines)
 	ShardsRebuilt float64       // mean LU blocks refactorized per update
 	VsShardBuild  float64       // Mean / (one shard's build time); acceptance: <= 2 for intra-shard
 	VsFullRebuild float64       // Mean / full-rebuild wall clock
@@ -78,9 +86,9 @@ func UpdateScale(cfg Config) ([]UpdateRow, error) {
 	// Pre-draw the update sequences so drawing cost is outside timings.
 	intra, cut := edgePairs(sx, rng, updates)
 
-	rows := make([]UpdateRow, 0, 5)
+	rows := make([]UpdateRow, 0, 7)
 	measure := func(kind string, mk func(i int, cur *shard.ShardedIndex) (*graph.Delta, error)) error {
-		var total time.Duration
+		durs := make([]time.Duration, 0, updates)
 		var rebuilt int
 		for i := 0; i < updates; i++ {
 			d, err := mk(i, sx)
@@ -92,15 +100,16 @@ func UpdateScale(cfg Config) ([]UpdateRow, error) {
 			if err != nil {
 				return fmt.Errorf("experiments: %s update %d: %w", kind, i, err)
 			}
-			total += time.Since(t0)
+			durs = append(durs, time.Since(t0))
 			rebuilt += us.ShardsRebuilt
 			sx = next
 		}
-		mean := total / time.Duration(updates)
+		mean, p50 := durStats(durs)
 		rows = append(rows, UpdateRow{
 			Kind:          kind,
 			Updates:       updates,
 			Mean:          mean,
+			P50:           p50,
 			ShardsRebuilt: float64(rebuilt) / float64(updates),
 			VsShardBuild:  ratio(mean, oneShard),
 			VsFullRebuild: ratio(mean, fullBuild),
@@ -144,12 +153,85 @@ func UpdateScale(cfg Config) ([]UpdateRow, error) {
 		rows[i].Exact = exact
 	}
 
+	// Durable-mode ack latency: the same intra-shard edge stream through
+	// the WAL handler's POST /update. The ack path is validate + encode +
+	// log append + memtable merge — the number that replaces the apply
+	// latencies above on a WAL-mode deployment (the refactorization still
+	// runs, asynchronously, in the compactor).
+	walRows, err := walAckRows(sx, intra, updates, rng, oneShard, fullBuild, exact)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, walRows...)
+
 	// Baselines for scale: one shard's build (CPU) and the full rebuild.
 	rows = append(rows,
 		UpdateRow{Kind: "one-shard-build", Updates: 1, Mean: oneShard, VsShardBuild: 1, VsFullRebuild: ratio(oneShard, fullBuild), Exact: exact},
 		UpdateRow{Kind: "full-rebuild", Updates: 1, Mean: fullBuild, ShardsRebuilt: float64(sx.Shards()), VsShardBuild: ratio(fullBuild, oneShard), VsFullRebuild: 1, Exact: exact},
 	)
 	return rows, nil
+}
+
+// walAckRows measures the durable-mode /update acknowledgement latency
+// through the real HTTP handler, one row per fsync policy: "interval"
+// (the production default, ack before the batched fsync) and "always"
+// (fsync inside every ack).
+func walAckRows(engine *shard.ShardedIndex, pairs [][2]int, updates int, rng *rand.Rand, oneShard, fullBuild time.Duration, exact bool) ([]UpdateRow, error) {
+	rows := make([]UpdateRow, 0, 2)
+	for _, policy := range []wal.SyncPolicy{wal.SyncInterval, wal.SyncAlways} {
+		dir, err := os.MkdirTemp("", "kdash-wal-bench-*")
+		if err != nil {
+			return nil, err
+		}
+		h, err := server.NewDurable(engine, server.WALConfig{Dir: dir, Sync: policy})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("experiments: wal ack handler: %w", err)
+		}
+		durs := make([]time.Duration, 0, updates)
+		for i := 0; i < updates; i++ {
+			e := pairs[i%len(pairs)]
+			body := fmt.Sprintf(`{"addEdges":[{"from":%d,"to":%d,"weight":%g}]}`, e[0], e[1], 0.5+rng.Float64())
+			req := httptest.NewRequest(http.MethodPost, "/update", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			t0 := time.Now()
+			h.ServeHTTP(rec, req)
+			ack := time.Since(t0)
+			if rec.Code != http.StatusAccepted {
+				h.Close()
+				os.RemoveAll(dir)
+				return nil, fmt.Errorf("experiments: wal ack update %d: status %d (%s)", i, rec.Code, rec.Body.String())
+			}
+			durs = append(durs, ack)
+		}
+		h.Close()
+		os.RemoveAll(dir)
+		mean, p50 := durStats(durs)
+		rows = append(rows, UpdateRow{
+			Kind:          "wal-ack-" + policy.String(),
+			Updates:       updates,
+			Mean:          mean,
+			P50:           p50,
+			VsShardBuild:  ratio(mean, oneShard),
+			VsFullRebuild: ratio(mean, fullBuild),
+			Exact:         exact,
+		})
+	}
+	return rows, nil
+}
+
+// durStats reports the mean and median of a duration sample.
+func durStats(durs []time.Duration) (mean, p50 time.Duration) {
+	if len(durs) == 0 {
+		return 0, 0
+	}
+	var total time.Duration
+	for _, d := range durs {
+		total += d
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return total / time.Duration(len(durs)), sorted[len(sorted)/2]
 }
 
 // edgePairs draws intra-shard and cut-crossing node pairs.
@@ -211,10 +293,11 @@ func ratio(a, b time.Duration) float64 {
 
 // WriteUpdateRows prints the update-latency table.
 func WriteUpdateRows(w io.Writer, rows []UpdateRow) {
-	fmt.Fprintf(w, "%-16s %8s %14s %14s %14s %14s %7s\n",
-		"update", "updates", "mean", "shards-rebuilt", "vs-shard-build", "vs-full-build", "exact")
+	fmt.Fprintf(w, "%-20s %8s %14s %14s %14s %14s %14s %7s\n",
+		"update", "updates", "mean", "p50", "shards-rebuilt", "vs-shard-build", "vs-full-build", "exact")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-16s %8d %14v %14.1f %13.2fx %13.3fx %7t\n",
-			r.Kind, r.Updates, r.Mean.Round(time.Microsecond), r.ShardsRebuilt, r.VsShardBuild, r.VsFullRebuild, r.Exact)
+		fmt.Fprintf(w, "%-20s %8d %14v %14v %14.1f %13.2fx %13.3fx %7t\n",
+			r.Kind, r.Updates, r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
+			r.ShardsRebuilt, r.VsShardBuild, r.VsFullRebuild, r.Exact)
 	}
 }

@@ -10,8 +10,10 @@ package graph
 // batch.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrEdgeNotFound reports a RemoveEdge op whose edge does not exist at
@@ -186,6 +188,135 @@ func (g *Graph) RemoveEdge(from, to int) (*Graph, error) {
 		return nil, err
 	}
 	return g.Apply(d)
+}
+
+// Extend appends next's ops to d, merging two sequentially recorded
+// batches into one. next must have been built against the node count d
+// produces (next.BaseN() == d.BaseN()+d.AddedNodes()), the contract a
+// chain of deltas recorded one after another satisfies naturally.
+// Applying the merged batch is equivalent to applying d then next: ops
+// execute in recorded order and node ids never shift (insertions only
+// append). This is the write-ahead log's memtable merge — pending
+// batches fold into one so a single refactorization absorbs them all.
+func (d *Delta) Extend(next *Delta) error {
+	if next.baseN != d.n() {
+		return fmt.Errorf("graph: delta built against %d nodes cannot extend one producing %d", next.baseN, d.n())
+	}
+	d.addNodes += next.addNodes
+	d.ops = append(d.ops, next.ops...)
+	return nil
+}
+
+// deltaWireVersion guards the binary encoding below; bump on any layout
+// change so a stale log segment fails loudly instead of misparsing.
+const deltaWireVersion = 1
+
+// AppendBinary encodes the batch into buf and returns the extended
+// slice. The encoding is deterministic (same delta, same bytes) and
+// self-delimiting: version byte, then baseN / addNodes / op count as
+// uvarints, then each op as kind byte + from/to uvarints + (additions
+// only) the weight's IEEE-754 bits little-endian.
+//
+//kdash:deterministic
+func (d *Delta) AppendBinary(buf []byte) []byte {
+	buf = append(buf, deltaWireVersion)
+	buf = binary.AppendUvarint(buf, uint64(d.baseN))
+	buf = binary.AppendUvarint(buf, uint64(d.addNodes))
+	buf = binary.AppendUvarint(buf, uint64(len(d.ops)))
+	for _, op := range d.ops {
+		buf = append(buf, byte(op.kind))
+		buf = binary.AppendUvarint(buf, uint64(op.from))
+		buf = binary.AppendUvarint(buf, uint64(op.to))
+		if op.kind == opAddEdge {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(op.w))
+		}
+	}
+	return buf
+}
+
+// UnmarshalDelta decodes a batch written by AppendBinary, re-validating
+// every op through the recording API so a corrupt or adversarial blob
+// can never yield a Delta that AddEdge would have rejected.
+//
+//kdash:deterministic
+func UnmarshalDelta(data []byte) (*Delta, error) {
+	if len(data) == 0 || data[0] != deltaWireVersion {
+		return nil, fmt.Errorf("graph: bad delta encoding version")
+	}
+	data = data[1:]
+	next := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("graph: truncated delta encoding")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	baseN, err := next()
+	if err != nil {
+		return nil, err
+	}
+	addNodes, err := next()
+	if err != nil {
+		return nil, err
+	}
+	nops, err := next()
+	if err != nil {
+		return nil, err
+	}
+	const maxDeltaDim = 1 << 40
+	if baseN > maxDeltaDim || addNodes > maxDeltaDim || nops > uint64(len(data)) {
+		// Each op costs >= 3 encoded bytes, so op counts beyond the
+		// remaining byte count are corrupt; reject before allocating.
+		return nil, fmt.Errorf("graph: corrupt delta encoding (baseN=%d addNodes=%d ops=%d)", baseN, addNodes, nops)
+	}
+	d := NewDelta(int(baseN))
+	for i := uint64(0); i < addNodes; i++ {
+		d.AddNode()
+	}
+	d.ops = make([]deltaOp, 0, nops)
+	for i := uint64(0); i < nops; i++ {
+		if len(data) == 0 {
+			return nil, fmt.Errorf("graph: truncated delta encoding")
+		}
+		kind := deltaOpKind(data[0])
+		data = data[1:]
+		from, err := next()
+		if err != nil {
+			return nil, err
+		}
+		to, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if from > maxDeltaDim || to > maxDeltaDim {
+			return nil, fmt.Errorf("graph: corrupt delta encoding (edge %d,%d)", from, to)
+		}
+		switch kind {
+		case opAddEdge:
+			if len(data) < 8 {
+				return nil, fmt.Errorf("graph: truncated delta encoding")
+			}
+			w := math.Float64frombits(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("graph: corrupt delta encoding (weight %v)", w)
+			}
+			if err := d.AddEdge(int(from), int(to), w); err != nil {
+				return nil, err
+			}
+		case opRemoveEdge:
+			if err := d.RemoveEdge(int(from), int(to)); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("graph: corrupt delta encoding (op kind %d)", kind)
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("graph: %d trailing bytes after delta encoding", len(data))
+	}
+	return d, nil
 }
 
 // AddNode returns a copy of the graph with one new edgeless node

@@ -157,6 +157,22 @@ func (g *Graph) InNeighbors(u int, fn func(from int, w float64)) {
 	}
 }
 
+// HasEdge reports whether the (merged) directed edge from -> to exists.
+// Out-of-range endpoints report false rather than panicking, so callers
+// validating prospective delta ops need no separate range check. The
+// scan is O(OutDegree(from)) — edge lists are unsorted within a column.
+func (g *Graph) HasEdge(from, to int) bool {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return false
+	}
+	for i := g.outPtr[from]; i < g.outPtr[from+1]; i++ {
+		if g.outTo[i] == to {
+			return true
+		}
+	}
+	return false
+}
+
 // OutWeightSum reports the total weight of u's out-edges.
 func (g *Graph) OutWeightSum(u int) float64 {
 	s := 0.0

@@ -52,7 +52,10 @@ func (h *Handler) topKBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.qBatch.Add(1)
-	st := h.snap()
+	st, ok := h.snapRead(w, r)
+	if !ok {
+		return
+	}
 	var req batchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		h.badRequest(w, "bad JSON: %v", err)

@@ -100,6 +100,32 @@ func (c *vectorCache) flush(epoch int) {
 	}
 }
 
+// retain advances the cache to epoch, dropping exactly the entries keep
+// rejects and carrying the survivors over — the selective invalidation
+// the update path uses when it can prove which cached vectors an epoch
+// swap could have changed (see Handler.invalidateCache for the
+// exactness argument). A stale epoch is a no-op; on the current epoch
+// the walk still runs (drops are always safe, a racing put has simply
+// inserted fresh entries the keep test judges conservatively).
+func (c *vectorCache) retain(epoch int, keep func(q int, vec []float64) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch < c.epoch {
+		return
+	}
+	var next *list.Element
+	for el := c.ll.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if !keep(e.q, e.vec) {
+			c.ll.Remove(el)
+			delete(c.m, e.q)
+			c.bytes -= 8 * int64(len(e.vec))
+		}
+	}
+	c.epoch = epoch
+}
+
 func (c *vectorCache) flushLocked(epoch int) {
 	c.epoch = epoch
 	c.ll.Init()

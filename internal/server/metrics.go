@@ -100,6 +100,38 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if ws := h.wals; ws != nil {
+		ws.mu.Lock()
+		acked, applied := ws.ackedSeq, ws.appliedSeq
+		pendingOps := 0
+		if ws.pending != nil {
+			pendingOps = ws.pending.Len()
+		}
+		compactions, applyErrors, dropped := ws.compactions, ws.applyErrors, ws.batchesDropped
+		ws.mu.Unlock()
+		ls := ws.log.Stats()
+		pw.Header("kdash_wal_acked_seq", "Last WAL sequence number acknowledged to a client.", "gauge")
+		pw.Metric("kdash_wal_acked_seq", nil, float64(acked))
+		pw.Header("kdash_wal_applied_seq", "Last WAL sequence number folded into the serving engine.", "gauge")
+		pw.Metric("kdash_wal_applied_seq", nil, float64(applied))
+		pw.Header("kdash_wal_pending_ops", "Edge ops waiting in the memtable for the next compaction.", "gauge")
+		pw.Metric("kdash_wal_pending_ops", nil, float64(pendingOps))
+		pw.Header("kdash_wal_appends_total", "Records appended to the WAL this process.", "counter")
+		pw.Metric("kdash_wal_appends_total", nil, float64(ls.Appends))
+		pw.Header("kdash_wal_fsyncs_total", "fsync calls the WAL issued.", "counter")
+		pw.Metric("kdash_wal_fsyncs_total", nil, float64(ls.Fsyncs))
+		pw.Header("kdash_wal_segments", "Live WAL segment files.", "gauge")
+		pw.Metric("kdash_wal_segments", nil, float64(ls.Segments))
+		pw.Header("kdash_wal_bytes", "Bytes across live WAL segments.", "gauge")
+		pw.Metric("kdash_wal_bytes", nil, float64(ls.Bytes))
+		pw.Header("kdash_wal_compactions_total", "Memtable drains applied through the engine.", "counter")
+		pw.Metric("kdash_wal_compactions_total", nil, float64(compactions))
+		pw.Header("kdash_wal_apply_errors_total", "Compactions whose engine apply failed (batches dropped).", "counter")
+		pw.Metric("kdash_wal_apply_errors_total", nil, float64(applyErrors))
+		pw.Header("kdash_wal_batches_dropped_total", "Acked client batches lost to apply errors.", "counter")
+		pw.Metric("kdash_wal_batches_dropped_total", nil, float64(dropped))
+	}
+
 	if s, ok := st.engine.(Statser); ok {
 		writeEngineMetrics(pw, s.Statz())
 	}

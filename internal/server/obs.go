@@ -120,6 +120,24 @@ func (h *Handler) instrument(name string, fn http.HandlerFunc) http.HandlerFunc 
 				h.logRequest(r, name, sw.code, d)
 			}
 		}()
+		// Per-request deadline: the server default, overridden by an
+		// explicit ?budget=<duration>. The bounded context threads into
+		// SearchOptions.Ctx, so a query that exhausts its budget mid-solve
+		// is abandoned between solve steps and answered with a 499.
+		deadline := h.defaultTimeout
+		if raw := r.URL.Query().Get("budget"); raw != "" {
+			v, err := time.ParseDuration(raw)
+			if err != nil || v <= 0 {
+				h.badRequest(sw, "bad budget %q: want a positive Go duration like 250ms", raw)
+				return
+			}
+			deadline = v
+		}
+		if deadline > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), deadline)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		fn(sw, r)
 	}
 }

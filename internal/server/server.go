@@ -123,6 +123,18 @@ func WithRequestLog(l *slog.Logger) Option {
 	return func(h *Handler) { h.logger = l }
 }
 
+// WithDefaultTimeout bounds every request's context by d (<= 0 leaves
+// requests unbounded). A per-request ?budget=<duration> overrides it
+// either way; a query that exhausts its budget mid-solve answers 499
+// and counts toward kdash_queries_cancelled_total.
+func WithDefaultTimeout(d time.Duration) Option {
+	return func(h *Handler) {
+		if d > 0 {
+			h.defaultTimeout = d
+		}
+	}
+}
+
 // engineState is one immutable epoch of the serving engine: the engine
 // plus its optional capabilities, resolved once per swap. Every request
 // loads the pointer exactly once and runs entirely against that
@@ -139,15 +151,17 @@ type engineState struct {
 
 // Handler serves queries against one engine.
 type Handler struct {
-	state    atomic.Pointer[engineState]
-	updateMu sync.Mutex // serialises /update appliers (single writer)
-	mux      *http.ServeMux
-	start    time.Time
-	maxBatch int
-	cache    *vectorCache // nil: caching disabled
-	openTime time.Duration
-	openMode string       // how the index was brought up (WithOpenInfo)
-	logger   *slog.Logger // nil: request logging off (WithRequestLog)
+	state          atomic.Pointer[engineState]
+	updateMu       sync.Mutex // serialises /update appliers (single writer)
+	mux            *http.ServeMux
+	start          time.Time
+	maxBatch       int
+	cache          *vectorCache // nil: caching disabled
+	openTime       time.Duration
+	openMode       string        // how the index was brought up (WithOpenInfo)
+	logger         *slog.Logger  // nil: request logging off (WithRequestLog)
+	wals           *walState     // nil: synchronous updates; set by NewDurable (wal.go)
+	defaultTimeout time.Duration // 0: requests unbounded (WithDefaultTimeout)
 
 	// Request telemetry (obs.go): per-endpoint latency histograms and
 	// status counters, the in-flight gauge, and the pooled trace
@@ -243,6 +257,22 @@ func newEngineState(engine Engine, epoch int) *engineState {
 // snap returns the current engine epoch. Handlers call it exactly once
 // per request and thread the snapshot through, never re-loading.
 func (h *Handler) snap() *engineState { return h.state.Load() }
+
+// snapRead is the query-path snapshot: in durable (WAL) mode it first
+// waits on the read barrier until the published engine covers every
+// update acked before this request arrived — the read-your-writes
+// guarantee that keeps WAL-mode answers exact (bit-identical to
+// synchronous applies) rather than stale. The false return means the
+// request's context expired while waiting and the 499 has been written.
+func (h *Handler) snapRead(w http.ResponseWriter, r *http.Request) (*engineState, bool) {
+	if h.wals != nil {
+		if err := h.wals.waitApplied(r.Context()); err != nil {
+			h.cancelled(w, err)
+			return nil, false
+		}
+	}
+	return h.snap(), true
+}
 
 // ServeHTTP implements http.Handler. A panic anywhere below — the shard
 // solve path asserts internal invariants with panics — is recovered into
@@ -349,7 +379,10 @@ func (h *Handler) topK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.qTopK.Add(1)
-	st := h.snap()
+	st, ok := h.snapRead(w, r)
+	if !ok {
+		return
+	}
 	q, err := nodeParam(r, "q", st.engine.N())
 	if err != nil {
 		h.badRequest(w, "%v", err)
@@ -381,7 +414,7 @@ func (h *Handler) topK(w http.ResponseWriter, r *http.Request) {
 		// trace block carries only the cache outcome — there is no push
 		// to trace on a hit, and the vector fill on a miss runs outside
 		// the traced search seam.
-		vec, hit, ok := h.cachedVector(w, st, q)
+		vec, hit, ok := h.cachedVector(w, r.Context(), st, q)
 		if !ok {
 			return // miss that failed; already reported
 		}
@@ -402,21 +435,36 @@ func (h *Handler) topK(w http.ResponseWriter, r *http.Request) {
 	writeResults(w, k, results, stats, false, tr)
 }
 
+// vectorCtxEngine is the optional cancellable vector seam: an engine
+// that can abandon a full-vector computation when the request's context
+// (budget or disconnect) expires. Both index shapes implement it.
+type vectorCtxEngine interface {
+	ProximityVectorCtx(ctx context.Context, q int) ([]float64, error)
+}
+
 // cachedVector returns q's proximity vector through the LRU, computing
 // and inserting it on a miss; hit reports which case served it. The
 // false ok return means the engine failed and the error response has
-// been written. Entries are tagged with the epoch they were computed
-// under, and /update purges the cache on swap, so a hit never serves a
-// stale epoch's vector.
-func (h *Handler) cachedVector(w http.ResponseWriter, st *engineState, q int) (vec []float64, hit, ok bool) {
+// been written (a context expiry maps to 499, like the uncached path).
+// Entries are tagged with the epoch they were computed under, and
+// /update purges the cache on swap, so a hit never serves a stale
+// epoch's vector.
+func (h *Handler) cachedVector(w http.ResponseWriter, ctx context.Context, st *engineState, q int) (vec []float64, hit, ok bool) {
 	if vec, ok := h.cache.get(q, st.epoch); ok {
 		h.cacheHits.Add(1)
 		return vec, true, true
 	}
 	h.cacheMisses.Add(1)
-	vec, err := st.engine.ProximityVector(q)
+	var err error
+	if ve, ok := st.engine.(vectorCtxEngine); ok {
+		vec, err = ve.ProximityVectorCtx(ctx, q)
+	} else {
+		vec, err = st.engine.ProximityVector(q)
+	}
 	if err != nil {
-		h.internalError(w, err)
+		if !h.cancelled(w, err) {
+			h.internalError(w, err)
+		}
 		return nil, false, false
 	}
 	h.cache.put(q, vec, st.epoch)
@@ -436,7 +484,10 @@ func (h *Handler) personalized(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.qPers.Add(1)
-	st := h.snap()
+	st, ok := h.snapRead(w, r)
+	if !ok {
+		return
+	}
 	var req personalizedRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		h.badRequest(w, "bad JSON: %v", err)
@@ -483,7 +534,10 @@ func (h *Handler) proximity(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.qProx.Add(1)
-	st := h.snap()
+	st, ok := h.snapRead(w, r)
+	if !ok {
+		return
+	}
 	q, err := nodeParam(r, "q", st.engine.N())
 	if err != nil {
 		h.badRequest(w, "%v", err)
@@ -591,6 +645,9 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 			"bytes":     bytes,
 			"evictions": evictions,
 		}
+	}
+	if h.wals != nil {
+		doc["wal"] = h.walStatz()
 	}
 	if s, ok := st.engine.(Statser); ok {
 		doc["index"] = s.Statz()

@@ -100,6 +100,13 @@ func (h *Handler) update(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Durable mode: ack after a WAL append (microseconds) and let the
+	// background compactor fold the batch in; see wal.go.
+	if h.wals != nil {
+		h.updateWAL(w, &req)
+		return
+	}
+
 	// Serialise appliers: the batch must be validated against the epoch
 	// it will actually apply to, so the snapshot is taken under the lock.
 	h.updateMu.Lock()
@@ -141,9 +148,7 @@ func (h *Handler) update(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.state.Store(newEngineState(engine, stats.Epoch))
-	if h.cache != nil {
-		h.cache.flush(stats.Epoch)
-	}
+	h.invalidateCache(engine, stats)
 	h.qUpdates.Add(1)
 	h.updShards.Add(int64(stats.ShardsRebuilt))
 	h.updEdges.Add(int64(stats.EdgesAdded + stats.EdgesRemoved))

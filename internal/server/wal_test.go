@@ -1,0 +1,606 @@
+package server
+
+// Durable-mode tests: the randomized differential harness the WAL
+// overlay's exactness contract is pinned by (bit-identical answers to a
+// synchronous oracle at every point of a random update chain, including
+// after a simulated crash + replay), plus the ack-path validation,
+// concurrency, snapshot-recovery, selective cache invalidation and
+// observability surfaces.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kdash/internal/graph"
+	"kdash/internal/reorder"
+	"kdash/internal/shard"
+	"kdash/internal/testutil"
+	"kdash/internal/wal"
+)
+
+// walBuildOpts are the build options every durable-mode test shares;
+// Build is deterministic in (graph, options), so building twice yields
+// bit-identical engines — the handler's and the oracle's.
+var walBuildOpts = shard.Options{Shards: 4, Reorder: reorder.Hybrid, Seed: 1, StalenessLimit: 8}
+
+// durableHandler opens a WAL-mode handler over the engine with a fast
+// compactor tick and registers cleanup.
+func durableHandler(t *testing.T, engine Engine, cfg WALConfig, opts ...Option) *Handler {
+	t.Helper()
+	if cfg.CompactInterval == 0 {
+		cfg.CompactInterval = 2 * time.Millisecond
+	}
+	h, err := NewDurable(engine, cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { h.Close() })
+	return h
+}
+
+// awaitApplied blocks until the compactor has folded seq into the
+// published engine — the step-lock the differential chain uses so each
+// drain holds exactly one batch and the WAL engine walks the same
+// ApplyDelta sequence as the oracle.
+func awaitApplied(t *testing.T, h *Handler, seq uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		h.wals.mu.Lock()
+		applied := h.wals.appliedSeq
+		h.wals.mu.Unlock()
+		if applied >= seq {
+			return
+		}
+		h.wals.kickCompact()
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("wal: seq %d never applied", seq)
+}
+
+// randomOps draws a random valid update request against g: edge adds,
+// reweights, removals of existing edges, and (when withNodes) node
+// insertions. Duplicate (from,to) pairs are avoided so the batch is
+// order-insensitive within each op kind.
+func randomOps(rng *rand.Rand, g *graph.Graph, withNodes bool) *updateRequest {
+	req := &updateRequest{}
+	if withNodes && rng.Intn(3) == 0 {
+		req.AddNodes = 1 + rng.Intn(2)
+	}
+	n := g.N() + req.AddNodes
+	edges := g.Edges()
+	seen := map[[2]int]bool{}
+	for i := 1 + rng.Intn(4); i > 0; i-- {
+		if rng.Intn(3) == 0 && len(edges) > 0 {
+			for tries := 0; tries < 8; tries++ {
+				e := edges[rng.Intn(len(edges))]
+				k := [2]int{e.From, e.To}
+				if !seen[k] {
+					seen[k] = true
+					req.RemoveEdges = append(req.RemoveEdges, edgeJSON{From: e.From, To: e.To})
+					break
+				}
+			}
+			continue
+		}
+		u, v := rng.Intn(n), rng.Intn(n)
+		k := [2]int{u, v}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		req.AddEdges = append(req.AddEdges, edgeJSON{From: u, To: v, Weight: 0.5 + rng.Float64()})
+	}
+	if req.AddNodes == 0 && len(req.AddEdges)+len(req.RemoveEdges) == 0 {
+		req.AddEdges = append(req.AddEdges, edgeJSON{From: rng.Intn(n), To: rng.Intn(n), Weight: 1.25})
+	}
+	return req
+}
+
+// postUpdateWAL posts req and returns the acked WAL sequence number.
+func postUpdateWAL(t *testing.T, h *Handler, req *updateRequest) uint64 {
+	t.Helper()
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := post(t, h, "/update", string(blob))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("durable update: status %d, want 202 (%s)", rec.Code, rec.Body.String())
+	}
+	var resp walUpdateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq == 0 {
+		t.Fatalf("durable update acked seq 0: %s", rec.Body.String())
+	}
+	return resp.Seq
+}
+
+// compareAnswers asserts the handler's /topk answers are bit-identical
+// to the oracle's — same nodes, same score bits (JSON float64 encoding
+// round-trips exactly, so == on the decoded values is the bit test).
+func compareAnswers(t *testing.T, h *Handler, oracle *shard.ShardedIndex, rng *rand.Rand, tag string) {
+	t.Helper()
+	for i := 0; i < 3; i++ {
+		q := rng.Intn(oracle.N())
+		rec, _ := get(t, h, fmt.Sprintf("/topk?q=%d&k=8", q))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: /topk?q=%d: status %d (%s)", tag, q, rec.Code, rec.Body.String())
+		}
+		var resp struct {
+			Results []struct {
+				Node  int     `json:"node"`
+				Score float64 `json:"score"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := oracle.TopK(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != len(want) {
+			t.Fatalf("%s: q=%d: %d results, oracle has %d", tag, q, len(resp.Results), len(want))
+		}
+		for j, r := range resp.Results {
+			if r.Node != want[j].Node || r.Score != want[j].Score {
+				t.Fatalf("%s: q=%d rank %d: (%d, %v) vs oracle (%d, %v)",
+					tag, q, j, r.Node, r.Score, want[j].Node, want[j].Score)
+			}
+		}
+	}
+}
+
+// TestWALDifferentialChain is the acceptance harness: a random update
+// chain through the durable path, step-locked so each drain holds one
+// batch, compared bit-identically against a synchronous oracle after
+// every step. Midway the handler "crashes" (Close) and is reopened over
+// a freshly built base engine — recovery replays the whole log through
+// the merged fast path, which must land on the same bits (edge-only
+// batches keep shard homes pinned, and each part's factors are a
+// deterministic function of the final graph restricted to the part).
+// The chain then continues, now with node insertions, on the recovered
+// handler.
+func TestWALDifferentialChain(t *testing.T) {
+	g := testutil.Clustered(150, 4, 3)
+	base, err := shard.Build(g, walBuildOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := shard.Build(g, walBuildOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	cfg := WALConfig{Dir: walDir, Sync: wal.SyncNone}
+	h := durableHandler(t, base, cfg)
+
+	rng := rand.New(rand.NewSource(7))
+	step := func(i int, withNodes bool) {
+		req := randomOps(rng, oracle.Graph(), withNodes)
+		seq := postUpdateWAL(t, h, req)
+		d, err := buildDelta(oracle.N(), req)
+		if err != nil {
+			t.Fatalf("step %d: oracle delta: %v", i, err)
+		}
+		if oracle, _, err = oracle.Apply(d); err != nil {
+			t.Fatalf("step %d: oracle apply: %v", i, err)
+		}
+		awaitApplied(t, h, seq)
+		compareAnswers(t, h, oracle, rng, fmt.Sprintf("step %d", i))
+	}
+
+	for i := 1; i <= 6; i++ {
+		step(i, false) // edge ops only: keeps the merged replay bit-identical
+	}
+
+	// Simulated crash: drop the handler, rebuild the base engine from
+	// scratch (deterministic, so bit-identical to the original), and
+	// recover from the same log.
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base2, err := shard.Build(g, walBuildOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h = durableHandler(t, base2, cfg)
+	h.wals.mu.Lock()
+	replayed := h.wals.replayed
+	h.wals.mu.Unlock()
+	if replayed != 6 {
+		t.Fatalf("recovery replayed %d records, want 6", replayed)
+	}
+	compareAnswers(t, h, oracle, rng, "post-crash")
+
+	for i := 7; i <= 12; i++ {
+		step(i, true) // node insertions join the chain after recovery
+	}
+}
+
+// TestWALConcurrentUpdates pins the durable path's write safety: N
+// concurrent single-edge updates must all ack, all survive into the
+// published graph, and the barrier must cover the last of them.
+func TestWALConcurrentUpdates(t *testing.T) {
+	g := testutil.Clustered(120, 4, 1)
+	base, err := shard.Build(g, walBuildOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := durableHandler(t, base, WALConfig{Dir: t.TempDir(), Sync: wal.SyncNone})
+
+	const writers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"addEdges":[{"from":%d,"to":%d,"weight":%g}]}`, i, (i+40)%120, 1+float64(i)/100)
+			rec := post(t, h, "/update", body)
+			if rec.Code != http.StatusAccepted {
+				t.Errorf("writer %d: status %d (%s)", i, rec.Code, rec.Body.String())
+			}
+		}(i)
+	}
+	wg.Wait()
+	awaitApplied(t, h, uint64(writers))
+
+	pub := h.snap().engine.(graphEngine).Graph()
+	for i := 0; i < writers; i++ {
+		if !pub.HasEdge(i, (i+40)%120) {
+			t.Errorf("edge (%d,%d) lost", i, (i+40)%120)
+		}
+	}
+	h.wals.mu.Lock()
+	acked := h.wals.acked
+	h.wals.mu.Unlock()
+	if acked != writers {
+		t.Errorf("acked %d batches, want %d", acked, writers)
+	}
+}
+
+// TestSyncConcurrentUpdatesAllSurvive is the synchronous-path
+// regression for the lost-update race: N concurrent POST /update
+// requests must all apply — the epoch advances once per batch and no
+// batch overwrites another's successor.
+func TestSyncConcurrentUpdatesAllSurvive(t *testing.T) {
+	h := updatableHandler(t)
+	const writers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"addEdges":[{"from":%d,"to":%d,"weight":1.5}]}`, i, (i+60)%120)
+			rec := post(t, h, "/update", body)
+			if rec.Code != http.StatusOK {
+				t.Errorf("writer %d: status %d (%s)", i, rec.Code, rec.Body.String())
+			}
+		}(i)
+	}
+	wg.Wait()
+	srec, _ := get(t, h, "/statz")
+	var statz struct {
+		Updates map[string]int64 `json:"updates"`
+	}
+	if err := json.Unmarshal(srec.Body.Bytes(), &statz); err != nil {
+		t.Fatal(err)
+	}
+	if statz.Updates["applied"] != writers || statz.Updates["epoch"] != writers {
+		t.Fatalf("lost update: applied=%d epoch=%d, want %d/%d",
+			statz.Updates["applied"], statz.Updates["epoch"], writers, writers)
+	}
+	pub := h.snap().engine.(graphEngine).Graph()
+	for i := 0; i < writers; i++ {
+		if !pub.HasEdge(i, (i+60)%120) {
+			t.Errorf("edge (%d,%d) lost", i, (i+60)%120)
+		}
+	}
+}
+
+// TestWALValidationOverlay pins ack-time validation against the virtual
+// state: an acked-but-unapplied edge is removable, a twice-removed edge
+// is a 400, and nothing invalid ever reaches the log.
+func TestWALValidationOverlay(t *testing.T) {
+	g := testutil.Clustered(120, 4, 1)
+	base, err := shard.Build(g, walBuildOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A slow tick so the adds stay pending while the removals validate.
+	h := durableHandler(t, base, WALConfig{Dir: t.TempDir(), Sync: wal.SyncNone, CompactInterval: time.Hour})
+
+	if rec := post(t, h, "/update", `{"addEdges":[{"from":1,"to":100,"weight":2}]}`); rec.Code != http.StatusAccepted {
+		t.Fatalf("add: %d (%s)", rec.Code, rec.Body.String())
+	}
+	// The edge exists only in the memtable overlay; removing it must ack.
+	if rec := post(t, h, "/update", `{"removeEdges":[{"from":1,"to":100}]}`); rec.Code != http.StatusAccepted {
+		t.Fatalf("remove pending edge: %d (%s)", rec.Code, rec.Body.String())
+	}
+	// Now it is gone in the virtual state: a second removal is a 400.
+	if rec := post(t, h, "/update", `{"removeEdges":[{"from":1,"to":100}]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("double remove: %d, want 400 (%s)", rec.Code, rec.Body.String())
+	}
+	// Removing an edge that never existed anywhere is a 400 too.
+	au, av := -1, -1
+	for u := 0; u < g.N() && au < 0; u++ {
+		for v := 0; v < g.N(); v++ {
+			if u != v && !g.HasEdge(u, v) && !(u == 1 && v == 100) {
+				au, av = u, v
+				break
+			}
+		}
+	}
+	if rec := post(t, h, "/update", fmt.Sprintf(`{"removeEdges":[{"from":%d,"to":%d}]}`, au, av)); rec.Code != http.StatusBadRequest {
+		t.Fatalf("remove of absent edge (%d,%d): %d, want 400 (%s)", au, av, rec.Code, rec.Body.String())
+	}
+	// Range validation happens against the virtual node count.
+	if rec := post(t, h, "/update", `{"addEdges":[{"from":0,"to":5000}]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("out-of-range add: %d, want 400", rec.Code)
+	}
+	// Only the two valid batches reached the log.
+	if last := h.wals.log.LastSeq(); last != 2 {
+		t.Fatalf("log holds %d records, want 2", last)
+	}
+}
+
+// TestWALSnapshotRecovery drives durable compaction end to end: updates
+// flow, snapshots land in SnapshotDir with a manifest-v4 WAL stamp, the
+// log truncates, and a restart from LatestSnapshot + the remaining log
+// reproduces the oracle bit-identically.
+func TestWALSnapshotRecovery(t *testing.T) {
+	g := testutil.Clustered(150, 4, 5)
+	base, err := shard.Build(g, walBuildOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := shard.Build(g, walBuildOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir, snapDir := t.TempDir(), t.TempDir()
+	cfg := WALConfig{Dir: walDir, Sync: wal.SyncNone, SnapshotDir: snapDir, SnapshotEvery: 1}
+	h := durableHandler(t, base, cfg)
+
+	rng := rand.New(rand.NewSource(11))
+	var lastSeq uint64
+	for i := 1; i <= 4; i++ {
+		req := randomOps(rng, oracle.Graph(), false)
+		lastSeq = postUpdateWAL(t, h, req)
+		d, err := buildDelta(oracle.N(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if oracle, _, err = oracle.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+		awaitApplied(t, h, lastSeq)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path, ok := LatestSnapshot(snapDir)
+	if !ok {
+		t.Fatal("no snapshot after 4 compactions with SnapshotEvery=1")
+	}
+	loaded, err := shard.Open(path, shard.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.WALSeq() == 0 {
+		t.Fatal("snapshot carries no WAL stamp")
+	}
+	h2 := durableHandler(t, loaded, cfg)
+	h2.wals.mu.Lock()
+	replayed := h2.wals.replayed
+	h2.wals.mu.Unlock()
+	if replayed != int64(lastSeq-loaded.WALSeq()) {
+		t.Fatalf("replayed %d records, want %d (stamp %d, last %d)",
+			replayed, lastSeq-loaded.WALSeq(), loaded.WALSeq(), lastSeq)
+	}
+	compareAnswers(t, h2, oracle, rng, "post-snapshot-restart")
+}
+
+// TestSelectiveCacheInvalidation pins the satellite: a cached vector
+// whose query lives in a clean shard — and carries zero mass on every
+// dirty-shard node — survives the epoch swap and is served bit-
+// identically, while entries touching the dirty shard are dropped.
+// Two disconnected components with a pinned assignment make the
+// zero-mass condition exact.
+func TestSelectiveCacheInvalidation(t *testing.T) {
+	g := testutil.Disconnected(120, 2, 9)
+	home := make([]int, 120)
+	for i := range home {
+		home[i] = i / 60
+	}
+	sx, err := shard.Build(g, shard.Options{Assignment: home, Reorder: reorder.Hybrid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(sx, WithCache(8))
+
+	warm := func(q int) []byte {
+		t.Helper()
+		if rec, _ := get(t, h, fmt.Sprintf("/topk?q=%d&k=5", q)); rec.Code != http.StatusOK {
+			t.Fatalf("warm q=%d: %d", q, rec.Code)
+		}
+		rec, _ := get(t, h, fmt.Sprintf("/topk?q=%d&k=5", q))
+		var resp struct {
+			Cached bool `json:"cached"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Cached {
+			t.Fatalf("q=%d not cached after warm: %s", q, rec.Body.String())
+		}
+		return rec.Body.Bytes()
+	}
+	before5 := warm(5) // component/shard 0
+	warm(70)           // component/shard 1
+
+	// Mutate component 1 only: shard 1 is dirty, shard 0 untouched.
+	if rec := post(t, h, "/update", `{"addEdges":[{"from":70,"to":95,"weight":3}]}`); rec.Code != http.StatusOK {
+		t.Fatalf("update: %d (%s)", rec.Code, rec.Body.String())
+	}
+
+	// The clean-shard entry survives the swap — the post-update read is a
+	// cache HIT (the "cached" response flag means "vector path" on hits
+	// and misses alike, so the hit counter is the discriminator) — and
+	// serves the same bits it did before the update.
+	hits0 := h.cacheHits.Value()
+	rec5, _ := get(t, h, "/topk?q=5&k=5")
+	if h.cacheHits.Value() != hits0+1 {
+		t.Fatalf("clean-shard cache entry flushed by a disjoint update (hits %d -> %d): %s",
+			hits0, h.cacheHits.Value(), rec5.Body.String())
+	}
+	var after5, want5 struct {
+		Results []struct {
+			Node  int     `json:"node"`
+			Score float64 `json:"score"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rec5.Body.Bytes(), &after5); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(before5, &want5); err != nil {
+		t.Fatal(err)
+	}
+	if len(after5.Results) != len(want5.Results) {
+		t.Fatalf("surviving entry changed size: %d vs %d", len(after5.Results), len(want5.Results))
+	}
+	for i := range want5.Results {
+		if after5.Results[i] != want5.Results[i] {
+			t.Fatalf("surviving entry drifted at rank %d: %+v vs %+v", i, after5.Results[i], want5.Results[i])
+		}
+	}
+
+	// The dirty-shard entry is gone: the next read is a miss and
+	// recomputes against the new engine.
+	misses0 := h.cacheMisses.Value()
+	rec70, _ := get(t, h, "/topk?q=70&k=5")
+	if h.cacheMisses.Value() != misses0+1 {
+		t.Fatalf("dirty-shard cache entry survived the update: %s", rec70.Body.String())
+	}
+	// And the recomputed answer reflects the new edge: node 95 now ranks
+	// directly under the query's self-score.
+	var after70 struct {
+		Results []struct {
+			Node int `json:"node"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(rec70.Body.Bytes(), &after70); err != nil {
+		t.Fatal(err)
+	}
+	if len(after70.Results) < 2 || after70.Results[1].Node != 95 {
+		t.Errorf("post-update answer for q=70 does not rank the new edge's target: %+v", after70.Results)
+	}
+}
+
+// TestQueryBudget pins the deadline knobs: a bad ?budget= is a 400, a
+// generous one a 200, a sub-solve one a 499 that counts toward the
+// cancellation metric — and WithDefaultTimeout applies the same bound
+// without the query parameter.
+func TestQueryBudget(t *testing.T) {
+	h := updatableHandler(t)
+	for _, raw := range []string{"nope", "-5ms", "0s"} {
+		rec, _ := get(t, h, "/topk?q=1&k=3&budget="+raw)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("budget=%q: status %d, want 400", raw, rec.Code)
+		}
+	}
+	if rec, _ := get(t, h, "/topk?q=1&k=3&budget=30s"); rec.Code != http.StatusOK {
+		t.Errorf("generous budget: status %d (%s)", rec.Code, rec.Body.String())
+	}
+	rec, _ := get(t, h, "/topk?q=1&k=3&budget=1ns")
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("1ns budget: status %d, want 499 (%s)", rec.Code, rec.Body.String())
+	}
+	srec, _ := get(t, h, "/statz")
+	var statz struct {
+		Queries map[string]int64 `json:"queries"`
+	}
+	if err := json.Unmarshal(srec.Body.Bytes(), &statz); err != nil {
+		t.Fatal(err)
+	}
+	if statz.Queries["cancelled"] < 1 {
+		t.Errorf("cancelled counter not bumped: %+v", statz.Queries)
+	}
+
+	hd := updatableHandler(t, WithDefaultTimeout(time.Nanosecond))
+	if rec, _ := get(t, hd, "/topk?q=1&k=3"); rec.Code != statusClientClosedRequest {
+		t.Errorf("default timeout: status %d, want 499 (%s)", rec.Code, rec.Body.String())
+	}
+	// An explicit budget overrides the tight default.
+	if rec, _ := get(t, hd, "/topk?q=1&k=3&budget=30s"); rec.Code != http.StatusOK {
+		t.Errorf("budget override of default timeout: status %d (%s)", rec.Code, rec.Body.String())
+	}
+
+	// The cache-miss path computes a full vector through
+	// ProximityVectorCtx, so budgets cancel it too — a blown budget must
+	// not fall through to an unbounded vector fill.
+	hc := updatableHandler(t, WithCache(4))
+	if rec, _ := get(t, hc, "/topk?q=1&k=3&budget=1ns"); rec.Code != statusClientClosedRequest {
+		t.Errorf("1ns budget on cache miss: status %d, want 499 (%s)", rec.Code, rec.Body.String())
+	}
+	// A cache hit serves without solving, so it survives any budget.
+	if rec, _ := get(t, hc, "/topk?q=1&k=3"); rec.Code != http.StatusOK {
+		t.Fatalf("warming query: status %d (%s)", rec.Code, rec.Body.String())
+	}
+	if rec, _ := get(t, hc, "/topk?q=1&k=3&budget=1ns"); rec.Code != http.StatusOK {
+		t.Errorf("1ns budget on cache hit: status %d, want 200 (%s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestWALObservability checks the /statz wal block and the /metrics wal
+// series exist and carry the log's position.
+func TestWALObservability(t *testing.T) {
+	g := testutil.Clustered(120, 4, 1)
+	base, err := shard.Build(g, walBuildOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := durableHandler(t, base, WALConfig{Dir: t.TempDir(), Sync: wal.SyncNone})
+	seq := postUpdateWAL(t, h, &updateRequest{AddEdges: []edgeJSON{{From: 0, To: 90, Weight: 2}}})
+	awaitApplied(t, h, seq)
+
+	srec, _ := get(t, h, "/statz")
+	var statz struct {
+		WAL map[string]json.RawMessage `json:"wal"`
+	}
+	if err := json.Unmarshal(srec.Body.Bytes(), &statz); err != nil {
+		t.Fatal(err)
+	}
+	if statz.WAL == nil {
+		t.Fatalf("statz has no wal block: %s", srec.Body.String())
+	}
+	for _, key := range []string{"ackedSeq", "appliedSeq", "acked", "compactions", "fsyncPolicy", "segments", "lastSeq"} {
+		if _, ok := statz.WAL[key]; !ok {
+			t.Errorf("statz wal block missing %q", key)
+		}
+	}
+	if string(statz.WAL["ackedSeq"]) != "1" || string(statz.WAL["appliedSeq"]) != "1" {
+		t.Errorf("wal seqs = %s/%s, want 1/1", statz.WAL["ackedSeq"], statz.WAL["appliedSeq"])
+	}
+
+	mreq := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, mreq)
+	body := mrec.Body.String()
+	for _, series := range []string{"kdash_wal_appends_total", "kdash_wal_acked_seq 1", "kdash_wal_applied_seq 1", "kdash_wal_compactions_total"} {
+		if !strings.Contains(body, series) {
+			t.Errorf("/metrics missing %q", series)
+		}
+	}
+}

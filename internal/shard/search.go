@@ -12,6 +12,7 @@ package shard
 // ranking is exact within QueryTol/c.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -327,12 +328,26 @@ func (sx *ShardedIndex) Proximity(q, u int) (float64, error) {
 //
 //kdash:deterministic
 func (sx *ShardedIndex) ProximityVector(q int) ([]float64, error) {
+	return sx.ProximityVectorCtx(nil, q)
+}
+
+// ProximityVectorCtx is ProximityVector with cancellation: the push
+// checks ctx between shard solves (never per node), so a query that
+// blows its request budget mid-vector is abandoned with the context's
+// error instead of running to convergence. A nil ctx never fails.
+//
+//kdash:deterministic
+func (sx *ShardedIndex) ProximityVectorCtx(ctx context.Context, q int) ([]float64, error) {
 	if q < 0 || q >= sx.n {
 		return nil, fmt.Errorf("shard: query node %d outside [0,%d)", q, sx.n)
 	}
 	st := sx.getPushState()
+	st.ctx = ctx
 	st.seed(q, sx.c)
-	_, _ = st.run(nil) // no context: cannot fail
+	if _, err := st.run(nil); err != nil {
+		sx.putPushState(st)
+		return nil, err
+	}
 	out := make([]float64, sx.n)
 	for si := range sx.parts {
 		if !st.solved[si] {

@@ -67,10 +67,14 @@ const ManifestName = "manifest.json"
 // per-shard staleness counters and the epoch number. Version 3 switched
 // the shard files to the sectioned (memory-mappable) core format and
 // added the shardFormat marker plus per-shard nnz hints, so a lazy open
-// can report stats without touching a single shard file. Version 1 and
-// 2 directories still load; v1 additionally rejects Apply, having no
-// graph.
-const manifestVersion = 3
+// can report stats without touching a single shard file. Version 4
+// added the write-ahead-log position: the last WAL sequence number this
+// snapshot has absorbed (walSeq) and the names of the live WAL segments
+// at save time, so crash recovery knows exactly which logged records to
+// replay over the snapshot. Version 1–3 directories still load (their
+// walSeq is 0: replay everything); v1 additionally rejects Apply,
+// having no graph.
+const manifestVersion = 4
 
 // shardFormatSectioned marks shard files written in the sectioned v3
 // core layout (mmapio container); absent/zero means the legacy v1
@@ -99,6 +103,15 @@ type manifest struct {
 
 	// Version 3 fields.
 	ShardFormat int `json:"shardFormat,omitempty"`
+
+	// Version 4 fields: the WAL position this snapshot covers. WALSeq is
+	// the last log sequence number whose delta is already folded into the
+	// saved factors; recovery replays only records past it. WALSegments
+	// records the live segment files at save time — informational (the
+	// log's own recovery rescans the directory), useful to operators and
+	// tooling deciding what a snapshot depends on.
+	WALSeq      uint64   `json:"walSeq,omitempty"`
+	WALSegments []string `json:"walSegments,omitempty"`
 
 	Stats struct {
 		Sizes         []int   `json:"sizes"`
@@ -158,6 +171,8 @@ func (sx *ShardedIndex) save(dir string, legacy bool) error {
 	m.Epoch = sx.epoch
 	m.StalenessLimit = sx.stalenessLimit
 	m.Staleness = sx.staleness
+	m.WALSeq = sx.walSeq
+	m.WALSegments = sx.walSegments
 	if !legacy {
 		m.ShardFormat = shardFormatSectioned
 	} else {
@@ -367,6 +382,8 @@ func Open(dir string, opt LoadOptions) (*ShardedIndex, error) {
 		stalenessLimit: m.StalenessLimit,
 		precision:      opt.Precision,
 		pushWorkers:    opt.PushWorkers,
+		walSeq:         m.WALSeq,
+		walSegments:    m.WALSegments,
 	}
 	if sx.qtol <= 0 {
 		sx.qtol = DefaultQueryTol

@@ -206,3 +206,76 @@ func TestLoadRejectsCorruption(t *testing.T) {
 		t.Error("garbage manifest accepted")
 	}
 }
+
+// TestManifestV4WALInfoRoundTrip: a stamped WAL position survives
+// Save/Load, an unstamped save omits it, and Apply does not carry a
+// stale stamp onto its successor.
+func TestManifestV4WALInfoRoundTrip(t *testing.T) {
+	g := gen.DirectedScaleFree(80, 3, 0.3, 0.4, 7)
+	built, err := Build(g, Options{Shards: 3, Reorder: reorder.Hybrid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built.SetWALInfo(42, []string{"wal-0000000000000001.log", "wal-0000000000000029.log"})
+	dir := filepath.Join(t.TempDir(), "idx")
+	if err := built.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	var m manifest
+	blob, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 4 || m.WALSeq != 42 || len(m.WALSegments) != 2 {
+		t.Fatalf("manifest = version %d walSeq %d segments %v", m.Version, m.WALSeq, m.WALSegments)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.WALSeq() != 42 || len(loaded.WALSegments()) != 2 {
+		t.Fatalf("loaded walSeq %d segments %v", loaded.WALSeq(), loaded.WALSegments())
+	}
+
+	// Apply must not forward the stamp: the successor covers more deltas
+	// than the stamped position.
+	d := loaded.Graph().NewDelta()
+	if err := d.AddEdge(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	succ, us, err := loaded.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if succ.WALSeq() != 0 {
+		t.Fatalf("successor inherited walSeq %d", succ.WALSeq())
+	}
+	if len(us.DirtyShards) != us.ShardsRebuilt || len(us.DirtyShards) == 0 {
+		t.Fatalf("DirtyShards = %v, ShardsRebuilt = %d", us.DirtyShards, us.ShardsRebuilt)
+	}
+
+	// An unstamped index persists no WAL fields at all.
+	dir2 := filepath.Join(t.TempDir(), "idx2")
+	if err := succ.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	blob2, err := os.ReadFile(filepath.Join(dir2, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob2) != "" && (jsonHasKey(blob2, "walSeq") || jsonHasKey(blob2, "walSegments")) {
+		t.Fatal("unstamped manifest carries WAL fields")
+	}
+}
+
+func jsonHasKey(blob []byte, key string) bool {
+	var m map[string]any
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}

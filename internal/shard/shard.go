@@ -245,6 +245,15 @@ type ShardedIndex struct {
 	staleness      []int
 	epoch          int
 
+	// Write-ahead-log position (manifest v4): the last WAL sequence
+	// number folded into these factors and the live segment names at
+	// save time. Set by SetWALInfo before Save; zero for indexes that
+	// never ran under a WAL. Not carried across Apply — the compactor
+	// stamps each snapshot explicitly with the position it knows it
+	// covers.
+	walSeq      uint64
+	walSegments []string
+
 	// Query-path tuning carried from Options/LoadOptions: the factor
 	// value precision every shard index solves with, and the worker
 	// budget of the speculative parallel push (<2 = sequential).

@@ -41,10 +41,11 @@ type UpdateStats struct {
 	NodesAdded   int
 	CutCrossing  int // edge ops whose endpoints live in different shards
 
-	ShardsRebuilt int  // LU blocks refactorized
-	CutsPatched   int  // shards whose outgoing cut lists were recomputed
-	Repartitioned bool // a staleness limit triggered local re-partitioning
-	NodesMoved    int  // nodes re-homed by the re-partitioning
+	ShardsRebuilt int   // LU blocks refactorized
+	DirtyShards   []int // ids of the refactorized shards, ascending
+	CutsPatched   int   // shards whose outgoing cut lists were recomputed
+	Repartitioned bool  // a staleness limit triggered local re-partitioning
+	NodesMoved    int   // nodes re-homed by the re-partitioning
 
 	Epoch     int           // the successor's epoch number
 	GraphTime time.Duration // applying the delta to the graph snapshot
@@ -74,6 +75,28 @@ func (sx *ShardedIndex) ensureGraph() error {
 // Epoch reports how many Apply steps produced this index: 0 for a
 // fresh build, incrementing along the successor chain.
 func (sx *ShardedIndex) Epoch() int { return sx.epoch }
+
+// SetWALInfo stamps the write-ahead-log position the index's state
+// covers: seq is the last WAL sequence number whose delta is folded
+// into the factors, segments the live segment files at stamp time. Save
+// persists both into the manifest (v4), so recovery replays only
+// records past seq. Call it on a successor just before Save; Apply
+// deliberately does not carry the stamp forward, because a successor
+// with further deltas applied no longer matches the stamped position.
+func (sx *ShardedIndex) SetWALInfo(seq uint64, segments []string) {
+	sx.walSeq = seq
+	sx.walSegments = append([]string(nil), segments...)
+}
+
+// WALSeq reports the last WAL sequence number this index's snapshot
+// covers — 0 when the index never ran under a WAL (replay everything).
+func (sx *ShardedIndex) WALSeq() uint64 { return sx.walSeq }
+
+// WALSegments reports the WAL segment files live when the snapshot was
+// stamped (informational; recovery rescans the log directory).
+func (sx *ShardedIndex) WALSegments() []string {
+	return append([]string(nil), sx.walSegments...)
+}
 
 // Assignment returns a copy of the node -> shard map. Feeding it to
 // Build via Options.Assignment on the updated graph reproduces this
@@ -241,6 +264,7 @@ func (sx *ShardedIndex) Apply(batch *graph.Delta) (*ShardedIndex, UpdateStats, e
 	}
 	us.BuildTime = time.Since(tBuild)
 	us.ShardsRebuilt = len(dirty)
+	us.DirtyShards = dirty
 
 	// Patch the cut lists of every shard whose outgoing cuts changed and
 	// refresh the global cut statistics.
@@ -373,6 +397,7 @@ func (sx *ShardedIndex) ApplyDelta(batch *graph.Delta) (any, core.UpdateStats, e
 		NodesAdded:    us.NodesAdded,
 		Epoch:         us.Epoch,
 		ShardsRebuilt: us.ShardsRebuilt,
+		DirtyShards:   us.DirtyShards,
 		Repartitioned: us.Repartitioned,
 		FullRebuild:   us.ShardsRebuilt == len(sx.parts),
 		BuildTime:     us.BuildTime,
