@@ -11,6 +11,7 @@
 //	kdash-bench -exp batch -batches 1,8,64 -shard-nodes 50000
 //	kdash-bench -exp updates -shard-nodes 50000   # update latency vs rebuild
 //	kdash-bench -exp kernels                      # solve-kernel throughput (scalar vs SIMD vs float32)
+//	kdash-bench -exp distributed                  # coordinator/worker loopback serving vs single process
 //	kdash-bench -exp shards -json                 # also write BENCH_shards.json
 //	kdash-bench -exp fig2 -cpuprofile cpu.out     # pprof the run
 //
@@ -36,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|batch|updates|coldstart|serve|kernels|all")
+		exp        = flag.String("exp", "all", "experiment: fig2|fig3|fig4|fig5|fig6|fig7|fig9|table2|csweep|ablation|shards|batch|updates|coldstart|serve|kernels|distributed|all")
 		queries    = flag.Int("queries", 10, "query nodes averaged per measurement")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		shards     = flag.String("shards", "1,2,4,8", "shard counts for -exp shards")
@@ -225,6 +226,14 @@ func main() {
 		check(err)
 		experiments.WriteKernelRows(os.Stdout, rows)
 		emit("kernels", rows)
+	}
+	if run("distributed") {
+		any = true
+		section("Extension — distributed serving: loopback coordinator/worker clusters vs single process")
+		rows, err := experiments.Distributed(cfg)
+		check(err)
+		experiments.WriteDistributedRows(os.Stdout, rows)
+		emit("distributed", rows)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "kdash-bench: unknown experiment %q\n", *exp)

@@ -9,6 +9,7 @@
 //	kdash-server -load-index idxdir -addr :8080    # sharded manifest directory
 //	kdash-server -load-index idxdir -mmap          # zero-copy map, lazy shard opens
 //	kdash-server -load-index idxdir -cache 256 -max-batch 512
+//	kdash-server -load-index idxdir -coordinator 10.0.0.1:9101,10.0.0.2:9101
 //
 // Endpoints (identical for monolithic and sharded indexes):
 //
@@ -41,6 +42,18 @@
 // the original index. -default-timeout bounds each query's compute
 // budget; clients override per request with ?budget=<duration>.
 //
+// -coordinator turns the server into a distributed coordinator: the
+// sharded index directory is opened factorless (placement map, cut
+// lists and graph snapshot only — no factors), the greedy cross-shard
+// push runs locally, and every per-shard factor solve is routed to the
+// kdash-worker owning the shard under the round-robin placement both
+// sides derive from the manifest. Answers stay bit-identical to a
+// single process serving the same directory; a lost worker degrades the
+// queries needing its shards to 503 with a Retry-After hint. Updates
+// two-phase publish to every worker, so -wal-dir works unchanged;
+// -wal-snapshot-dir does not (the coordinator holds no factors to
+// snapshot — snapshot from a single-process server instead).
+//
 // With -mmap, a v3 index is memory-mapped read-only instead of parsed:
 // the server takes traffic milliseconds after exec, shard files are
 // opened lazily as queries reach them, and /statz reports open time,
@@ -60,10 +73,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"kdash"
+	"kdash/internal/placement"
 	"kdash/internal/server"
 	"kdash/internal/wal"
 )
@@ -102,6 +117,7 @@ func main() {
 
 		precision   = flag.String("precision", "float64", `factor value width for single-query solves: "float64" (exact) or "float32" (half the value bandwidth, ~1e-7 relative error)`)
 		pushWorkers = flag.Int("push-workers", 0, "speculative parallel cross-shard push worker budget (<2 = sequential; answers are bit-identical either way)")
+		coordinator = flag.String("coordinator", "", "comma-separated kdash-worker addresses: serve -load-index as a distributed coordinator, routing factor solves to the workers (answers stay bit-identical to a single process)")
 
 		readTimeout     = flag.Duration("read-timeout", 10*time.Second, "HTTP read timeout")
 		writeTimeout    = flag.Duration("write-timeout", 10*time.Second, "HTTP write timeout")
@@ -146,6 +162,24 @@ func main() {
 		}
 	}
 	switch {
+	case *coordinator != "":
+		if *loadIdx == "" || !kdash.IsShardedIndexDir(*loadIdx) {
+			fmt.Fprintln(os.Stderr, "kdash-server: -coordinator needs -load-index pointing at a sharded index directory (the cluster's shared manifest)")
+			os.Exit(2)
+		}
+		if *walSnapshotDir != "" {
+			fmt.Fprintln(os.Stderr, "kdash-server: -wal-snapshot-dir cannot be combined with -coordinator: a factorless coordinator has no factors to snapshot (take snapshots from a single-process server over the same directory)")
+			os.Exit(2)
+		}
+		addrs := strings.Split(*coordinator, ",")
+		co, err := placement.NewCoordinator(*loadIdx, addrs, placement.Config{PushWorkers: *pushWorkers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		engine = co
+		openMode = "coordinator"
+		log.Printf("coordinator (factorless) over %d workers: %d nodes / %d shards in %v",
+			len(addrs), co.N(), co.Shards(), time.Since(tOpen).Round(time.Microsecond))
 	case *loadIdx != "" && kdash.IsShardedIndexDir(*loadIdx):
 		// -mmap maps shard files zero-copy AND defers each open to the
 		// first query that solves the shard — the instant-cold-start

@@ -1,0 +1,75 @@
+// Command kdash-worker serves one process's share of the factor-solve
+// load for a distributed K-dash deployment: it opens the same sharded
+// index directory as the coordinator and answers solve and two-phase
+// publish RPCs (see docs/ARCHITECTURE.md, "Distributed serving") over
+// the length-prefixed binary protocol in internal/rpc.
+//
+// Usage:
+//
+//	kdash-worker -index idxdir -addr 127.0.0.1:9101
+//	kdash-worker -index idxdir               # ephemeral port, printed on stdout
+//
+// The worker prints "LISTEN <host:port>" on stdout once it accepts
+// connections, so supervisors (and the differential test harness) can
+// bind it to an ephemeral port and discover the address. Shard files
+// are opened lazily: only the shards the coordinator's placement map
+// actually routes here are ever faulted in, even though every worker
+// sees the full directory. SIGINT/SIGTERM close the listener and exit.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"kdash/internal/mmapio"
+	"kdash/internal/placement"
+	"kdash/internal/shard"
+)
+
+func main() {
+	var (
+		indexDir = flag.String("index", "", "sharded index directory (the same directory the coordinator and every other worker open)")
+		addr     = flag.String("addr", "127.0.0.1:0", "RPC listen address (port 0 picks an ephemeral port, printed on stdout)")
+		useMmap  = flag.Bool("mmap", false, "memory-map shard files zero-copy instead of parsing them into private memory")
+	)
+	flag.Parse()
+	if *indexDir == "" {
+		fmt.Fprintln(os.Stderr, "kdash-worker: need -index")
+		flag.Usage()
+		os.Exit(2)
+	}
+	mode := mmapio.ModeCopy
+	if *useMmap {
+		mode = mmapio.ModeMmap
+	}
+	sx, err := shard.Open(*indexDir, shard.LoadOptions{Mode: mode, Lazy: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The LISTEN line is the worker's readiness contract: everything else
+	// logs to stderr so a supervisor can parse stdout alone.
+	fmt.Printf("LISTEN %s\n", ln.Addr())
+	log.Printf("worker serving %d nodes / %d shards (epoch %d) on %s", sx.N(), sx.Shards(), sx.Epoch(), ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		log.Printf("signal received, closing listener")
+		ln.Close()
+	}()
+	if err := placement.ServeWorker(ln, sx); err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Fatal(err)
+	}
+	log.Printf("shut down cleanly")
+}

@@ -1,0 +1,11 @@
+// Package distributed holds the multi-process differential harness for
+// coordinator/worker serving: the tests in this package re-exec the
+// test binary as real kdash worker processes on loopback TCP, drive a
+// coordinator through randomized query/update chains, and assert every
+// answer — results and per-query statistics — is bit-identical to an
+// in-process index fed the same chain, including while workers are
+// being killed, restarted from stale disk, and served through torn
+// connections. The package intentionally contains no production code;
+// the pieces under test live in internal/rpc, internal/placement and
+// internal/shard.
+package distributed

@@ -1,0 +1,221 @@
+package experiments
+
+// Distributed is the coordinator/worker serving experiment: the same
+// sharded index is queried three ways — in a single process, and
+// through a factorless coordinator routing every factor solve over
+// loopback TCP to 2 and then 4 real RPC worker listeners — so the table
+// answers the deployment question directly: what does distributing the
+// factor solves cost per query, and is the answer still bit-identical?
+// (It must be: the coordinator runs the same push in the same order and
+// the wire carries raw float64 bits; a false "exact" column here is a
+// released bug, not noise.)
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	"kdash/internal/gen"
+	"kdash/internal/obs"
+	"kdash/internal/placement"
+	"kdash/internal/reorder"
+	"kdash/internal/shard"
+	"kdash/internal/topk"
+)
+
+// DistributedRow is one serving topology's measurement.
+type DistributedRow struct {
+	Workers    int           // RPC worker listeners; 0 = single process, no RPC
+	Queries    int           // measured queries
+	Mean       time.Duration // mean /topk latency
+	P50        time.Duration
+	P99        time.Duration
+	QPS        float64 // sequential query throughput
+	Exact      bool    // bit-identical to the single-process answers
+	SlowdownVs float64 // mean latency vs the single-process row
+}
+
+// distributedQueries is the per-topology measured query count; enough
+// for stable tail quantiles at microsecond-to-millisecond latencies
+// without stretching the run.
+const distributedQueries = 300
+
+// distributedShards is the fixed shard count; every topology serves the
+// same partitioning so only the transport differs between rows.
+const distributedShards = 8
+
+// Distributed builds one community-structured graph, saves the sharded
+// index to a shared directory (the cluster's manifest), and measures
+// identical query streams against the single-process index and against
+// coordinators over 2- and 4-worker loopback clusters.
+func Distributed(cfg Config) ([]DistributedRow, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.ShardGraphN
+	if n == 0 {
+		n = defaultShardGraphN
+	}
+	communities := n / 100
+	if communities < 4 {
+		communities = 4
+	}
+	g := gen.CommunityOverlay(n, 3, communities, 0.995, cfg.Seed)
+	sx, err := shard.Build(g, shard.Options{Shards: distributedShards, Reorder: reorder.Hybrid, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: distributed build: %w", err)
+	}
+	dir, err := os.MkdirTemp("", "kdash-distributed-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := sx.Save(dir); err != nil {
+		return nil, fmt.Errorf("experiments: distributed save: %w", err)
+	}
+
+	// One fixed query stream for every topology: same nodes, same order.
+	qrng := rand.New(rand.NewSource(cfg.Seed + 1))
+	queries := make([]int, distributedQueries)
+	for i := range queries {
+		queries[i] = qrng.Intn(n)
+	}
+
+	var rows []DistributedRow
+	var baseline [][]topk.Result
+
+	// Row 0: single process, factors resident, no RPC anywhere.
+	row, answers, err := measureTopK(sx, queries)
+	if err != nil {
+		return nil, err
+	}
+	row.Exact = true
+	row.SlowdownVs = 1
+	baseline = answers
+	rows = append(rows, row)
+
+	for _, workers := range []int{2, 4} {
+		co, closeAll, err := loopbackCluster(dir, workers)
+		if err != nil {
+			return nil, err
+		}
+		row, answers, err := measureTopK(co, queries)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		closeAll()
+		row.Workers = workers
+		row.Exact = sameAnswers(answers, baseline)
+		row.SlowdownVs = float64(row.Mean) / float64(rows[0].Mean)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// topKer is the one query surface the measurement needs; both the
+// in-process index and the coordinator implement it.
+type topKer interface {
+	TopK(q, k int) ([]topk.Result, shard.QueryStats, error)
+}
+
+// measureTopK runs the query stream sequentially (per-query latency,
+// not saturation throughput) with a short untimed warmup.
+func measureTopK(e topKer, queries []int) (DistributedRow, [][]topk.Result, error) {
+	for i := 0; i < 20 && i < len(queries); i++ {
+		if _, _, err := e.TopK(queries[i], 10); err != nil {
+			return DistributedRow{}, nil, err
+		}
+	}
+	h := &obs.Histogram{}
+	answers := make([][]topk.Result, len(queries))
+	t0 := time.Now()
+	for i, q := range queries {
+		tq := time.Now()
+		rs, _, err := e.TopK(q, 10)
+		if err != nil {
+			return DistributedRow{}, nil, err
+		}
+		h.Observe(time.Since(tq))
+		answers[i] = rs
+	}
+	wall := time.Since(t0)
+	snap := h.Snapshot()
+	return DistributedRow{
+		Queries: len(queries),
+		Mean:    time.Duration(int64(snap.Mean())),
+		P50:     time.Duration(snap.Quantile(0.5)),
+		P99:     time.Duration(snap.Quantile(0.99)),
+		QPS:     float64(len(queries)) / wall.Seconds(),
+	}, answers, nil
+}
+
+// loopbackCluster serves `workers` RPC workers over dir on loopback TCP
+// and binds a coordinator to them. The returned closer tears down the
+// coordinator and every listener.
+func loopbackCluster(dir string, workers int) (*placement.Coordinator, func(), error) {
+	addrs := make([]string, workers)
+	lns := make([]net.Listener, workers)
+	for w := 0; w < workers; w++ {
+		wsx, err := shard.Open(dir, shard.LoadOptions{Lazy: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		lns[w] = ln
+		addrs[w] = ln.Addr().String()
+		go placement.ServeWorker(ln, wsx) //nolint:errcheck // closes with the listener
+	}
+	closeAll := func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}
+	co, err := placement.NewCoordinator(dir, addrs, placement.Config{})
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	all := func() {
+		co.Close()
+		closeAll()
+	}
+	return co, all, nil
+}
+
+// sameAnswers compares two answer streams bit-for-bit.
+func sameAnswers(a, b [][]topk.Result) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// WriteDistributedRows prints the distributed-serving table.
+func WriteDistributedRows(w io.Writer, rows []DistributedRow) {
+	fmt.Fprintf(w, "%-10s %8s %12s %12s %12s %10s %10s %7s\n",
+		"workers", "queries", "mean", "p50", "p99", "qps", "slowdown", "exact")
+	for _, r := range rows {
+		topo := "local"
+		if r.Workers > 0 {
+			topo = fmt.Sprintf("%d-worker", r.Workers)
+		}
+		fmt.Fprintf(w, "%-10s %8d %12v %12v %12v %10.0f %9.2fx %7t\n",
+			topo, r.Queries, r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
+			r.P99.Round(time.Microsecond), r.QPS, r.SlowdownVs, r.Exact)
+	}
+}

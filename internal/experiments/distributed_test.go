@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDistributedShape runs the distributed-serving experiment on a
+// small graph and checks its structural invariants: one single-process
+// baseline row plus the 2- and 4-worker topologies, every topology
+// bit-identical, and sane latency fields.
+func TestDistributedShape(t *testing.T) {
+	rows, err := Distributed(Config{Queries: 4, Seed: 2, ShardGraphN: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWorkers := []int{0, 2, 4}
+	if len(rows) != len(wantWorkers) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(wantWorkers))
+	}
+	for i, r := range rows {
+		if r.Workers != wantWorkers[i] {
+			t.Fatalf("row %d workers %d, want %d", i, r.Workers, wantWorkers[i])
+		}
+		if !r.Exact {
+			t.Fatalf("topology with %d workers answered differently from the single process", r.Workers)
+		}
+		if r.Mean <= 0 || r.P99 < r.P50 || r.QPS <= 0 {
+			t.Fatalf("row %d has implausible latency fields: %+v", i, r)
+		}
+	}
+	if rows[0].SlowdownVs != 1 {
+		t.Fatalf("baseline slowdown = %v, want 1", rows[0].SlowdownVs)
+	}
+
+	var sb strings.Builder
+	WriteDistributedRows(&sb, rows)
+	if !strings.Contains(sb.String(), "2-worker") || !strings.Contains(sb.String(), "local") {
+		t.Fatalf("table missing topology labels:\n%s", sb.String())
+	}
+}
+
+// TestBatchScaleShape runs the batch-scaling experiment on a small
+// graph: per batch size the batched call must agree with the
+// sequential loop and the sharing column must be >= 1 (a block sweep
+// serves at least one right-hand side).
+func TestBatchScaleShape(t *testing.T) {
+	sizes := []int{1, 4}
+	rows, err := BatchScale(Config{Queries: 4, Seed: 2, ShardGraphN: 1500, BatchSizes: sizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(sizes) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(sizes))
+	}
+	for i, r := range rows {
+		if r.Batch != sizes[i] {
+			t.Fatalf("row %d batch %d, want %d", i, r.Batch, sizes[i])
+		}
+		if !r.Agrees {
+			t.Fatalf("batch=%d answers diverged from the sequential loop", r.Batch)
+		}
+		if r.Sequential <= 0 || r.Batched <= 0 || r.Sharing < 1 {
+			t.Fatalf("row %d implausible: %+v", i, r)
+		}
+	}
+	var buf strings.Builder
+	WriteBatchRows(&buf, rows)
+	if !strings.Contains(buf.String(), "batch") {
+		t.Fatalf("table missing header:\n%s", buf.String())
+	}
+}
+
+// TestResolvedConfig: Resolved must replace every defaulted field so a
+// -json run records the workload it actually measured.
+func TestResolvedConfig(t *testing.T) {
+	r := Config{}.Resolved()
+	if r.Queries == 0 {
+		t.Fatalf("Resolved left zero fields: %+v", r)
+	}
+	if r.ShardCounts == nil || r.ShardGraphN == 0 || r.BatchSizes == nil {
+		t.Fatalf("Resolved left nil/zero sweep fields: %+v", r)
+	}
+	// An explicitly set field survives resolution.
+	if got := (Config{ShardGraphN: 123}).Resolved().ShardGraphN; got != 123 {
+		t.Fatalf("Resolved clobbered an explicit field: %d", got)
+	}
+}

@@ -1,0 +1,406 @@
+package placement
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kdash/internal/core"
+	"kdash/internal/graph"
+	"kdash/internal/obs"
+	"kdash/internal/rpc"
+	"kdash/internal/shard"
+	"kdash/internal/topk"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Dial opens worker connections; nil uses plain TCP. The
+	// differential harness injects rpc.FaultyDialer here.
+	Dial rpc.DialFunc
+	// Timeout bounds each worker call (0 = the rpc package default).
+	Timeout time.Duration
+	// PushWorkers enables the speculative parallel push on the
+	// coordinator's greedy loop, exactly as LoadOptions.PushWorkers
+	// does in-process (<2 = sequential). Speculative solves become
+	// concurrent in-flight RPCs.
+	PushWorkers int
+}
+
+// chainEntry is one published update: the epoch it produced and the
+// delta's wire encoding, kept for replaying to workers that missed it.
+type chainEntry struct {
+	epoch int
+	delta []byte
+}
+
+// cluster is the share-everything half of a coordinator: worker
+// clients, the shard→worker placement, per-worker observability and
+// the update chain. Successor coordinators from ApplyDelta share one
+// cluster, so replay state and stats survive epoch swaps.
+type cluster struct {
+	clients   []*rpc.Client
+	placement []int // shard -> worker index
+
+	lat        []*obs.Histogram // per-worker solve-call latency
+	errs       []atomic.Int64   // per-worker failed calls
+	reconnects []atomic.Int64   // per-worker recover (replay) rounds
+
+	// mu serialises publishes and recoveries: an update fan-out and a
+	// worker replay must not interleave, or the worker could observe
+	// epochs out of order.
+	mu        sync.Mutex
+	baseEpoch int
+	chain     []chainEntry
+}
+
+// call routes one solve RPC to shard si's worker, healing a lagging or
+// restarted worker by replaying the update chain and retrying once.
+// Every failure mode ends in a typed error: the caller sees the exact
+// answer or ErrUnavailable, never a silently wrong result.
+func (cl *cluster) call(si int, op uint8, body []byte) ([]byte, error) {
+	w := cl.placement[si]
+	t0 := time.Now()
+	resp, err := cl.clients[w].Call(op, body)
+	cl.lat[w].Observe(time.Since(t0))
+	if err == nil {
+		return resp, nil
+	}
+	// One recovery round: re-handshake and replay whatever chain suffix
+	// the worker is missing (covers restart-from-disk, which resets the
+	// worker to the base epoch), then retry the call once.
+	if rerr := cl.recover(w); rerr != nil {
+		cl.errs[w].Add(1)
+		return nil, fmt.Errorf("worker %d unrecoverable: %w (after %v)", w, err, rerr)
+	}
+	resp, err = cl.clients[w].Call(op, body)
+	if err == nil {
+		return resp, nil
+	}
+	cl.errs[w].Add(1)
+	if errors.Is(err, rpc.ErrWrongEpoch) {
+		// Replay brought the worker current, yet the requested epoch is
+		// still not resident: it was evicted (this query outlived two
+		// publishes). Degrade, do not guess.
+		return nil, fmt.Errorf("%w: epoch evicted from worker %d", rpc.ErrUnavailable, w)
+	}
+	return nil, err
+}
+
+// recover re-handshakes worker w and replays every chain entry past the
+// epoch the worker reports. Serialised with publishes via cl.mu.
+func (cl *cluster) recover(w int) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.reconnects[w].Add(1)
+	return cl.replayLocked(w)
+}
+
+func (cl *cluster) replayLocked(w int) error {
+	h, err := cl.clients[w].Hello()
+	if err != nil {
+		return err
+	}
+	for _, ce := range cl.chain {
+		if ce.epoch <= h.Epoch {
+			continue
+		}
+		if _, err := cl.clients[w].Call(rpc.OpPrepare, rpc.AppendPrepareRequest(nil, ce.epoch, ce.delta)); err != nil {
+			return err
+		}
+		if _, err := cl.clients[w].Call(rpc.OpCommit, rpc.AppendEpochRequest(nil, ce.epoch)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// epochSolver binds solve RPCs to one epoch — the shard.RemoteSolver a
+// coordinator installs on each epoch's index, so every query resolves
+// against exactly the factors its epoch published and a publish
+// mid-query can never mix bits from two epochs.
+type epochSolver struct {
+	cl       *cluster
+	epoch    int
+	partLens []int
+}
+
+// SolveSparse implements shard.RemoteSolver.
+func (es *epochSolver) SolveSparse(si int, idx []int, val []float64) ([]float64, []int, error) {
+	resp, err := es.cl.call(si, rpc.OpSolve, rpc.AppendSolveRequest(nil, es.epoch, si, idx, val))
+	if err != nil {
+		return nil, nil, err
+	}
+	y := make([]float64, es.partLens[si])
+	sup, err := rpc.DecodeSolveResponse(resp, y)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: shard %d: %v", rpc.ErrUnavailable, si, err)
+	}
+	return y, sup, nil
+}
+
+// SolveBatch implements shard.RemoteSolver.
+func (es *epochSolver) SolveBatch(si int, rhs [][]float64) ([][]float64, [][]int, error) {
+	resp, err := es.cl.call(si, rpc.OpBatchSolve, rpc.AppendBatchSolveRequest(nil, es.epoch, si, rhs))
+	if err != nil {
+		return nil, nil, err
+	}
+	ys, sups, err := rpc.DecodeBatchSolveResponse(resp, core.BlockWidth, es.partLens[si])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: shard %d: %v", rpc.ErrUnavailable, si, err)
+	}
+	return ys, sups, nil
+}
+
+// Coordinator serves the full engine surface from a factorless index,
+// fanning factor solves out to workers. Like the index itself it is
+// functional: ApplyDelta returns a successor Coordinator for the new
+// epoch, sharing the cluster, while the receiver keeps serving the old
+// epoch bit-exactly.
+type Coordinator struct {
+	sx *shard.ShardedIndex
+	cl *cluster
+}
+
+// NewCoordinator opens the index directory factorless (manifest,
+// assignment, cuts and graph snapshot only — no shard file is ever
+// mapped), connects to the workers and validates that each serves the
+// same index shape at the same epoch, and binds the base epoch's
+// remote solver. The placement is round-robin: shard si lives on
+// worker si mod len(addrs), matching what every worker derives from
+// the shared manifest.
+func NewCoordinator(dir string, addrs []string, cfg Config) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("placement: no worker addresses")
+	}
+	sx, err := shard.Open(dir, shard.LoadOptions{Lazy: true, PushWorkers: cfg.PushWorkers})
+	if err != nil {
+		return nil, err
+	}
+	sx.SetFactorless()
+	cl := &cluster{
+		clients:    make([]*rpc.Client, len(addrs)),
+		placement:  Assign(sx.Shards(), len(addrs)),
+		lat:        make([]*obs.Histogram, len(addrs)),
+		errs:       make([]atomic.Int64, len(addrs)),
+		reconnects: make([]atomic.Int64, len(addrs)),
+		baseEpoch:  sx.Epoch(),
+	}
+	for w, addr := range addrs {
+		cl.clients[w] = rpc.NewClient(addr, cfg.Dial, cfg.Timeout)
+		cl.lat[w] = &obs.Histogram{}
+		h, err := cl.clients[w].Hello()
+		if err != nil {
+			return nil, fmt.Errorf("placement: worker %d (%s): %w", w, addr, err)
+		}
+		if h.N != sx.N() || h.Shards != sx.Shards() || h.Epoch != sx.Epoch() {
+			return nil, fmt.Errorf("placement: worker %d (%s) serves n=%d shards=%d epoch=%d, coordinator has n=%d shards=%d epoch=%d",
+				w, addr, h.N, h.Shards, h.Epoch, sx.N(), sx.Shards(), sx.Epoch())
+		}
+	}
+	co := &Coordinator{sx: sx, cl: cl}
+	co.bindSolver()
+	return co, nil
+}
+
+// Assign is the placement map both sides derive from the shared
+// manifest: shard si is owned by worker si mod workers.
+func Assign(shards, workers int) []int {
+	p := make([]int, shards)
+	for si := range p {
+		p[si] = si % workers
+	}
+	return p
+}
+
+// bindSolver installs this epoch's remote solver on the index.
+func (co *Coordinator) bindSolver() {
+	partLens := make([]int, co.sx.Shards())
+	for si := range partLens {
+		partLens[si] = co.sx.PartLen(si)
+	}
+	co.sx.SetRemoteSolver(&epochSolver{cl: co.cl, epoch: co.sx.Epoch(), partLens: partLens})
+}
+
+// ApplyDelta publishes an update across the cluster with a two-phase
+// epoch publish and returns the successor Coordinator. Order: the
+// coordinator applies the delta to its factorless index (placement and
+// cut bookkeeping only — no factorization), fans Prepare out to every
+// worker in parallel (each refactorizes its dirty shards off to the
+// side while old-epoch queries keep resolving), and commits only once
+// every worker holds the stage. Any Prepare failure aborts the stage
+// everywhere and returns ErrUnavailable with the old epoch fully
+// intact; a Commit straggler is tolerated — it heals through the
+// wrongEpoch→replay path on its next query.
+func (co *Coordinator) ApplyDelta(batch *graph.Delta) (any, core.UpdateStats, error) {
+	cl := co.cl
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+
+	deltaBytes := batch.AppendBinary(nil)
+	next, us, err := co.sx.ApplyDelta(batch)
+	if err != nil {
+		return nil, us, err
+	}
+	sx2 := next.(*shard.ShardedIndex)
+	epoch2 := sx2.Epoch()
+
+	prepBody := rpc.AppendPrepareRequest(nil, epoch2, deltaBytes)
+	errs := make([]error, len(cl.clients))
+	var wg sync.WaitGroup
+	for w := range cl.clients {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, errs[w] = cl.clients[w].Call(rpc.OpPrepare, prepBody)
+		}(w)
+	}
+	wg.Wait()
+	// A worker that answered wrongEpoch or tore its connection may just
+	// be lagging (restarted from disk): replay it current and retry its
+	// Prepare once, sequentially — this is the slow path.
+	for w, werr := range errs {
+		if werr == nil {
+			continue
+		}
+		if rerr := cl.replayLocked(w); rerr == nil {
+			_, errs[w] = cl.clients[w].Call(rpc.OpPrepare, prepBody)
+		}
+	}
+	for w, werr := range errs {
+		if werr != nil {
+			abortBody := rpc.AppendEpochRequest(nil, epoch2)
+			for aw := range cl.clients {
+				cl.clients[aw].Call(rpc.OpAbort, abortBody) //nolint:errcheck // best-effort cleanup; an orphaned stage is dropped on the worker's next publish
+			}
+			return nil, us, fmt.Errorf("%w: prepare epoch %d on worker %d: %v", rpc.ErrUnavailable, epoch2, w, werr)
+		}
+	}
+
+	commitBody := rpc.AppendEpochRequest(nil, epoch2)
+	for w := range cl.clients {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if _, err := cl.clients[w].Call(rpc.OpCommit, commitBody); err != nil {
+				cl.errs[w].Add(1) // tolerated: heals via wrongEpoch→replay
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	cl.chain = append(cl.chain, chainEntry{epoch: epoch2, delta: deltaBytes})
+	next2 := &Coordinator{sx: sx2, cl: cl}
+	next2.bindSolver()
+	return next2, us, nil
+}
+
+// Close drops the worker connections. The underlying factorless index
+// holds no mappings, so there is nothing else to release.
+func (co *Coordinator) Close() error {
+	for _, c := range co.cl.clients {
+		c.Close()
+	}
+	return co.sx.Close()
+}
+
+// N implements server.Engine.
+func (co *Coordinator) N() int { return co.sx.N() }
+
+// Restart implements server.Engine.
+func (co *Coordinator) Restart() float64 { return co.sx.Restart() }
+
+// Epoch reports the serving epoch (server /statz and update seeding).
+func (co *Coordinator) Epoch() int { return co.sx.Epoch() }
+
+// Shards reports the shard count.
+func (co *Coordinator) Shards() int { return co.sx.Shards() }
+
+// Graph exposes the current graph snapshot (WAL-mode ack validation).
+func (co *Coordinator) Graph() *graph.Graph { return co.sx.Graph() }
+
+// HomeShard reports which shard owns node u (selective cache flushes).
+func (co *Coordinator) HomeShard(u int) int { return co.sx.HomeShard(u) }
+
+// WALSeq reports the WAL position the loaded snapshot covers.
+func (co *Coordinator) WALSeq() uint64 { return co.sx.WALSeq() }
+
+// Search implements server.Engine.
+func (co *Coordinator) Search(q int, opt core.SearchOptions) ([]topk.Result, core.SearchStats, error) {
+	return co.sx.Search(q, opt)
+}
+
+// TopK answers top-k through the distributed push.
+func (co *Coordinator) TopK(q, k int) ([]topk.Result, shard.QueryStats, error) {
+	return co.sx.TopK(q, k)
+}
+
+// TopKBatch answers a batch through the distributed block push.
+func (co *Coordinator) TopKBatch(qs []int, k int) ([][]topk.Result, shard.BatchStats, error) {
+	return co.sx.TopKBatch(qs, k)
+}
+
+// TopKPersonalized implements server.Engine.
+func (co *Coordinator) TopKPersonalized(seeds map[int]float64, k int) ([]topk.Result, core.SearchStats, error) {
+	return co.sx.TopKPersonalized(seeds, k)
+}
+
+// Proximity implements server.Engine.
+func (co *Coordinator) Proximity(q, u int) (float64, error) { return co.sx.Proximity(q, u) }
+
+// ProximityVector implements server.Engine.
+func (co *Coordinator) ProximityVector(q int) ([]float64, error) { return co.sx.ProximityVector(q) }
+
+// ProximityVectorCtx is the cancellable refinement the server's cache
+// fill path uses.
+func (co *Coordinator) ProximityVectorCtx(ctx context.Context, q int) ([]float64, error) {
+	return co.sx.ProximityVectorCtx(ctx, q)
+}
+
+// SearchBatch implements server.BatchEngine.
+func (co *Coordinator) SearchBatch(queries []core.BatchQuery) ([][]topk.Result, []core.SearchStats, error) {
+	return co.sx.SearchBatch(queries)
+}
+
+// SearchBatchCtx implements server.BatchCtxEngine.
+func (co *Coordinator) SearchBatchCtx(ctx context.Context, queries []core.BatchQuery) ([][]topk.Result, []core.SearchStats, error) {
+	return co.sx.SearchBatchCtx(ctx, queries)
+}
+
+// Statz merges the index's build observability with per-worker serving
+// stats: call latency quantiles, failed calls and replay rounds.
+func (co *Coordinator) Statz() map[string]interface{} {
+	doc := co.sx.Statz()
+	workers := make([]map[string]interface{}, len(co.cl.clients))
+	for w, c := range co.cl.clients {
+		snap := co.cl.lat[w].Snapshot()
+		workers[w] = map[string]interface{}{
+			"addr":       c.Addr(),
+			"shards":     countShards(co.cl.placement, w),
+			"calls":      snap.Count,
+			"meanMicros": snap.Mean() / 1e3,
+			"p99Micros":  float64(snap.Quantile(0.99)) / 1e3,
+			"errors":     co.cl.errs[w].Load(),
+			"replays":    co.cl.reconnects[w].Load(),
+		}
+	}
+	doc["cluster"] = map[string]interface{}{
+		"workers":   workers,
+		"baseEpoch": co.cl.baseEpoch,
+		"chainLen":  len(co.cl.chain),
+	}
+	return doc
+}
+
+func countShards(placement []int, w int) int {
+	n := 0
+	for _, pw := range placement {
+		if pw == w {
+			n++
+		}
+	}
+	return n
+}

@@ -92,7 +92,7 @@ func (h *Handler) topKBatch(w http.ResponseWriter, r *http.Request) {
 
 	results, stats, err := st.runBatch(r.Context(), queries)
 	if err != nil {
-		if !h.cancelled(w, err) {
+		if !h.cancelled(w, err) && !h.unavailable(w, err) {
 			h.internalError(w, err)
 		}
 		return

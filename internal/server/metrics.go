@@ -50,6 +50,7 @@ func (h *Handler) metrics(w http.ResponseWriter, r *http.Request) {
 	pw.Metric("kdash_http_errors_total", []obs.Label{{Name: "kind", Value: "badRequest"}}, float64(h.qBadRequest.Value()))
 	pw.Metric("kdash_http_errors_total", []obs.Label{{Name: "kind", Value: "internal"}}, float64(h.qInternal.Value()))
 	pw.Metric("kdash_http_errors_total", []obs.Label{{Name: "kind", Value: "panic"}}, float64(h.qPanics.Value()))
+	pw.Metric("kdash_http_errors_total", []obs.Label{{Name: "kind", Value: "unavailable"}}, float64(h.qUnavailable.Value()))
 	pw.Header("kdash_queries_cancelled_total", "Queries abandoned mid-solve because the client went away.", "counter")
 	pw.Metric("kdash_queries_cancelled_total", nil, float64(h.qCancelled.Value()))
 
@@ -159,6 +160,7 @@ func writeEngineMetrics(pw *obs.PromWriter, doc map[string]interface{}) {
 		pw.Header("kdash_shard_solves_total_sum", "Shard factor solves across all queries this epoch (resets on update swap).", "counter")
 		pw.Metric("kdash_shard_solves_total_sum", nil, float64(v))
 	}
+	writeClusterMetrics(pw, doc)
 	perShard, ok := doc["perShard"].([]map[string]interface{})
 	if !ok {
 		return
@@ -179,6 +181,43 @@ func writeEngineMetrics(pw *obs.PromWriter, doc map[string]interface{}) {
 	}
 }
 
+// writeClusterMetrics projects a coordinator's per-worker serving stats
+// (placement.Coordinator.Statz puts them under "cluster") onto labelled
+// Prometheus series, so a dashboard can tell a slow worker from a slow
+// query mix without scraping the workers themselves.
+func writeClusterMetrics(pw *obs.PromWriter, doc map[string]interface{}) {
+	cluster, ok := doc["cluster"].(map[string]interface{})
+	if !ok {
+		return
+	}
+	workers, ok := cluster["workers"].([]map[string]interface{})
+	if !ok {
+		return
+	}
+	series := []struct{ key, name, help, typ string }{
+		{"calls", "kdash_worker_calls_total", "Solve RPCs routed to the worker.", "counter"},
+		{"errors", "kdash_worker_errors_total", "Worker calls that failed after retry and replay.", "counter"},
+		{"replays", "kdash_worker_replays_total", "Chain-replay recovery rounds run against the worker.", "counter"},
+		{"shards", "kdash_worker_shards", "Shards the placement map assigns to the worker.", "gauge"},
+		{"meanMicros", "kdash_worker_call_mean_micros", "Mean worker call latency in microseconds.", "gauge"},
+		{"p99Micros", "kdash_worker_call_p99_micros", "p99 worker call latency in microseconds.", "gauge"},
+	}
+	for _, s := range series {
+		pw.Header(s.name, s.help, s.typ)
+		for w, wd := range workers {
+			var val float64
+			if fv, ok := wd[s.key].(float64); ok {
+				val = fv
+			} else if iv, ok := statInt(wd[s.key]); ok {
+				val = float64(iv)
+			} else {
+				continue
+			}
+			pw.Metric(s.name, []obs.Label{{Name: "worker", Value: strconv.Itoa(w)}}, val)
+		}
+	}
+}
+
 // statInt folds the integer shapes a Statz document actually contains.
 func statInt(v interface{}) (int64, bool) {
 	switch x := v.(type) {
@@ -186,6 +225,8 @@ func statInt(v interface{}) (int64, bool) {
 		return int64(x), true
 	case int64:
 		return x, true
+	case uint64:
+		return int64(x), true
 	case float64:
 		return int64(x), true
 	}

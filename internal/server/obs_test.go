@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -18,6 +19,11 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"kdash/internal/gen"
+	"kdash/internal/placement"
+	"kdash/internal/reorder"
+	"kdash/internal/shard"
 )
 
 // scrape fetches /metrics and returns the exposition text.
@@ -363,5 +369,70 @@ func TestConcurrentScrapeUnderLoad(t *testing.T) {
 	text := scrape(t, h)
 	if v, ok := metricValue(text, `kdash_http_requests_total{endpoint="topk",code="200"}`); !ok || int64(v) != 2*iters {
 		t.Errorf("topk 200s = %v (ok=%t), want %d", v, ok, 2*iters)
+	}
+}
+
+// TestClusterMetricsExposition serves a real loopback coordinator
+// through the handler and checks /metrics carries the per-worker
+// series writeClusterMetrics projects from the coordinator's Statz —
+// a shape drift between placement.Coordinator.Statz and the projection
+// fails here, not on a production dashboard.
+func TestClusterMetricsExposition(t *testing.T) {
+	g := gen.PlantedPartition(120, 4, 0.2, 0.01, 1)
+	sx, err := shard.Build(g, shard.Options{Shards: 4, Reorder: reorder.Hybrid, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := sx.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 2
+	addrs := make([]string, workers)
+	for w := 0; w < workers; w++ {
+		wsx, err := shard.Open(dir, shard.LoadOptions{Lazy: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		addrs[w] = ln.Addr().String()
+		go placement.ServeWorker(ln, wsx) //nolint:errcheck // closes with the listener
+	}
+	co, err := placement.NewCoordinator(dir, addrs, placement.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	h := New(co)
+	for i := 0; i < 3; i++ {
+		if rec, _ := get(t, h, "/topk?q=7&k=5"); rec.Code != http.StatusOK {
+			t.Fatalf("topk through coordinator: %d (%s)", rec.Code, rec.Body.String())
+		}
+	}
+	text := scrape(t, h)
+	for w := 0; w < workers; w++ {
+		calls, ok := metricValue(text, fmt.Sprintf(`kdash_worker_calls_total{worker="%d"}`, w))
+		if !ok || calls <= 0 {
+			t.Errorf("worker %d calls series = %v (ok=%t), want > 0", w, calls, ok)
+		}
+		if v, ok := metricValue(text, fmt.Sprintf(`kdash_worker_shards{worker="%d"}`, w)); !ok || v != 2 {
+			t.Errorf("worker %d shards = %v (ok=%t), want 2", w, v, ok)
+		}
+		if v, ok := metricValue(text, fmt.Sprintf(`kdash_worker_errors_total{worker="%d"}`, w)); !ok || v != 0 {
+			t.Errorf("worker %d errors = %v (ok=%t), want 0", w, v, ok)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE kdash_worker_calls_total counter",
+		"# TYPE kdash_worker_call_mean_micros gauge",
+		`kdash_http_errors_total{kind="unavailable"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }

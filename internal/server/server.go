@@ -23,6 +23,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"log/slog"
@@ -35,6 +36,7 @@ import (
 	"kdash/internal/core"
 	"kdash/internal/obs"
 	"kdash/internal/procmem"
+	"kdash/internal/rpc"
 	"kdash/internal/topk"
 )
 
@@ -182,6 +184,7 @@ type Handler struct {
 	qInternal     expvar.Int // 500s: engine failures and panics
 	qPanics       expvar.Int // recovered panics (also counted in qInternal)
 	qCancelled    expvar.Int // 499s: client went away mid-solve
+	qUnavailable  expvar.Int // 503s: a coordinator lost a worker mid-query
 	visited       expvar.Int
 	proxComps     expvar.Int
 	terminated    expvar.Int
@@ -315,6 +318,22 @@ func (h *Handler) internalError(w http.ResponseWriter, err error) {
 	httpError(w, http.StatusInternalServerError, err.Error())
 }
 
+// unavailable maps a coordinator's worker-loss failure to HTTP 503 with
+// a Retry-After hint, reporting whether it handled the error. The
+// distributed engine's contract is exact-or-nothing: a solve that could
+// not reach the worker owning its shard yields this typed error and no
+// partial answer, so the honest HTTP translation is "retry shortly",
+// never a wrong body or a generic 500.
+func (h *Handler) unavailable(w http.ResponseWriter, err error) bool {
+	if !errors.Is(err, rpc.ErrUnavailable) {
+		return false
+	}
+	h.qUnavailable.Add(1)
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable, err.Error())
+	return true
+}
+
 // resultJSON is one ranked answer on the wire.
 type resultJSON struct {
 	Node  int     `json:"node"`
@@ -426,7 +445,7 @@ func (h *Handler) topK(w http.ResponseWriter, r *http.Request) {
 	}
 	results, stats, err := st.engine.Search(q, opt)
 	if err != nil {
-		if !h.cancelled(w, err) {
+		if !h.cancelled(w, err) && !h.unavailable(w, err) {
 			h.internalError(w, err)
 		}
 		return
@@ -520,7 +539,9 @@ func (h *Handler) personalized(w http.ResponseWriter, r *http.Request) {
 	}
 	results, stats, err := st.engine.TopKPersonalized(seeds, req.K)
 	if err != nil {
-		h.internalError(w, err)
+		if !h.unavailable(w, err) {
+			h.internalError(w, err)
+		}
 		return
 	}
 	h.countWork(stats)
@@ -562,7 +583,9 @@ func (h *Handler) proximity(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := st.engine.Proximity(q, u)
 	if err != nil {
-		h.internalError(w, err)
+		if !h.unavailable(w, err) {
+			h.internalError(w, err)
+		}
 		return
 	}
 	writeJSON(w, map[string]float64{"proximity": p})
@@ -590,6 +613,14 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := h.snap()
+	// In durable mode the engine snapshot and the WAL counters must be
+	// captured atomically (walStatz takes both under the compactor's
+	// lock); a free-running pair could pair a pre-publish epoch with
+	// post-publish WAL counters.
+	var walDoc map[string]interface{}
+	if h.wals != nil {
+		walDoc, st = h.walStatz()
+	}
 	doc := map[string]interface{}{
 		"uptimeSeconds": time.Since(h.start).Seconds(),
 		"memory": map[string]int64{
@@ -610,6 +641,7 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 			"internal":     h.qInternal.Value(),
 			"panics":       h.qPanics.Value(),
 			"cancelled":    h.qCancelled.Value(),
+			"unavailable":  h.qUnavailable.Value(),
 			"inFlight":     h.inFlight.Load(), // includes this /statz request
 		},
 		"work": map[string]int64{
@@ -646,8 +678,8 @@ func (h *Handler) statz(w http.ResponseWriter, r *http.Request) {
 			"evictions": evictions,
 		}
 	}
-	if h.wals != nil {
-		doc["wal"] = h.walStatz()
+	if walDoc != nil {
+		doc["wal"] = walDoc
 	}
 	if s, ok := st.engine.(Statser); ok {
 		doc["index"] = s.Statz()

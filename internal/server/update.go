@@ -138,7 +138,12 @@ func (h *Handler) update(w http.ResponseWriter, r *http.Request) {
 			h.updUnsupported.Add(1)
 			httpError(w, http.StatusNotImplemented, err.Error())
 		default:
-			h.internalError(w, err)
+			// A coordinator that could not two-phase publish to every
+			// worker rolls the epoch back and reports worker loss (503):
+			// the update is safe to retry once the cluster heals.
+			if !h.unavailable(w, err) {
+				h.internalError(w, err)
+			}
 		}
 		return
 	}

@@ -631,10 +631,18 @@ func (h *Handler) invalidateCache(engine Engine, stats core.UpdateStats) {
 	})
 }
 
-// walStatz is the /statz "wal" block.
-func (h *Handler) walStatz() map[string]interface{} {
+// walStatz is the /statz "wal" block. It also returns the engine
+// snapshot paired with it: the compactor publishes the new engine and
+// advances compactions/appliedSeq/pendingOps inside one ws.mu critical
+// section, so only a capture of both under that same lock yields a
+// consistent /statz document — snapshotting the engine first and the
+// WAL fields later can report a drained memtable (pendingOps 0,
+// compactions advanced) against the pre-publish epoch, which reads as
+// a lost update to anyone cross-checking epoch against compactions.
+func (h *Handler) walStatz() (map[string]interface{}, *engineState) {
 	ws := h.wals
 	ws.mu.Lock()
+	st := h.snap()
 	doc := map[string]interface{}{
 		"ackedSeq":        ws.ackedSeq,
 		"appliedSeq":      ws.appliedSeq,
@@ -661,7 +669,7 @@ func (h *Handler) walStatz() map[string]interface{} {
 	doc["rotations"] = ls.Rotations
 	doc["tornBytesDropped"] = ls.TornBytesDropped
 	doc["segmentsCorrupt"] = ls.SegmentsCorrupt
-	return doc
+	return doc, st
 }
 
 // Close stops the compactor (draining the memtable once more) and

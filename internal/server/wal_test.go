@@ -604,3 +604,185 @@ func TestWALObservability(t *testing.T) {
 		}
 	}
 }
+
+// TestStatzEpochCompactionsPaired pins the /statz capture pairing in
+// durable mode: the engine snapshot and the WAL counters are taken
+// inside one compactor critical section, so a document where no apply
+// has failed always satisfies updates.epoch == wal.compactions (each
+// successful drain advances both by exactly one). Before the pairing,
+// /statz read the engine snapshot first and the WAL block later; a
+// publish landing between the two produced a torn document whose epoch
+// lagged its own compactions counter — here a poller races /statz
+// against a hammered compactor and rejects any torn read.
+func TestStatzEpochCompactionsPaired(t *testing.T) {
+	g := testutil.Clustered(120, 4, 1)
+	base, err := shard.Build(g, walBuildOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := durableHandler(t, base, WALConfig{Dir: t.TempDir(), Sync: wal.SyncNone, CompactInterval: time.Millisecond})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			req := httptest.NewRequest(http.MethodGet, "/statz", nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			var doc struct {
+				Updates struct {
+					Epoch int64 `json:"epoch"`
+				} `json:"updates"`
+				WAL struct {
+					Compactions int64 `json:"compactions"`
+					ApplyErrors int64 `json:"applyErrors"`
+				} `json:"wal"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+				t.Errorf("statz decode: %v", err)
+				return
+			}
+			if doc.WAL.ApplyErrors == 0 && doc.Updates.Epoch != doc.WAL.Compactions {
+				t.Errorf("torn /statz: updates.epoch %d with wal.compactions %d",
+					doc.Updates.Epoch, doc.WAL.Compactions)
+				return
+			}
+		}
+	}()
+
+	// Edge adds/reweights are always valid, so applyErrors stays zero
+	// and every drain advances the epoch. The short sleeps spread the
+	// publishes out so the poller overlaps many of them.
+	rng := rand.New(rand.NewSource(31))
+	n := g.N()
+	var lastSeq uint64
+	for i := 0; i < 200; i++ {
+		req := &updateRequest{AddEdges: []edgeJSON{{From: rng.Intn(n), To: rng.Intn(n), Weight: 0.5 + rng.Float64()}}}
+		lastSeq = postUpdateWAL(t, h, req)
+		if i%20 == 0 {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	awaitApplied(t, h, lastSeq)
+	close(stop)
+	wg.Wait()
+}
+
+// TestCacheFlushOnInsertPlusRepartition pins the epoch-swap cache rule
+// for the compound update: ONE delta that both inserts nodes and trips
+// the staleness limit into a re-partition (insertion bumps the
+// receiving shard's staleness, so with limit 1 and five inserts over
+// four shards, pigeonhole puts two on one shard in the same apply).
+// Either condition alone already breaks the selective-retention
+// argument — vectors change length, homes move — so the cache must
+// flush completely, and every post-swap answer must be recomputed
+// bit-identically to an oracle that applied the same delta.
+func TestCacheFlushOnInsertPlusRepartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := testutil.Random(rng)
+	opts := shard.Options{Shards: 4, Reorder: reorder.Hybrid, Seed: 17, StalenessLimit: 1}
+	sx, err := shard.Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(sx, WithCache(8))
+	n := sx.N()
+
+	// Warm two cache entries (second read of each must hit).
+	for _, q := range []int{1, n - 2} {
+		if rec, _ := get(t, h, fmt.Sprintf("/topk?q=%d&k=5", q)); rec.Code != http.StatusOK {
+			t.Fatalf("warm q=%d: %d", q, rec.Code)
+		}
+	}
+	hits0 := h.cacheHits.Value()
+	for _, q := range []int{1, n - 2} {
+		get(t, h, fmt.Sprintf("/topk?q=%d&k=5", q))
+	}
+	if h.cacheHits.Value() != hits0+2 {
+		t.Fatalf("cache never warmed (hits %d -> %d)", hits0, h.cacheHits.Value())
+	}
+
+	// The compound delta: five inserted nodes (edges wire the first two
+	// in both directions so they are reachable) plus a plain edge add.
+	body := fmt.Sprintf(`{"addNodes":5,"addEdges":[{"from":0,"to":%d,"weight":2},{"from":%d,"to":3,"weight":1},{"from":7,"to":11,"weight":1.5}]}`, n, n+1)
+	rec := post(t, h, "/update", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("update: %d (%s)", rec.Code, rec.Body.String())
+	}
+	var ur updateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.NodesAdded != 5 || !ur.Repartitioned {
+		t.Fatalf("test premise broken: want insert+repartition in one apply, got %+v", ur)
+	}
+
+	// Full flush: both warm entries are gone, their next reads miss.
+	misses0 := h.cacheMisses.Value()
+	for _, q := range []int{1, n - 2} {
+		if rec, _ := get(t, h, fmt.Sprintf("/topk?q=%d&k=5", q)); rec.Code != http.StatusOK {
+			t.Fatalf("post-swap q=%d: %d", q, rec.Code)
+		}
+	}
+	if h.cacheMisses.Value() != misses0+2 {
+		t.Fatalf("stale cache entries served across an insert+repartition swap (misses %d -> %d)",
+			misses0, h.cacheMisses.Value())
+	}
+
+	// And the recomputed answers (the cache-warming reads above plus
+	// their hits) are bit-identical to an oracle fed the same delta —
+	// including for the inserted nodes themselves.
+	oracle, err := shard.Build(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.NewDelta(n)
+	for i := 0; i < 5; i++ {
+		d.AddNode()
+	}
+	for _, e := range [][3]float64{{0, float64(n), 2}, {float64(n + 1), 3, 1}, {7, 11, 1.5}} {
+		if err := d.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oracle, _, err = oracle.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []int{1, n - 2, n, n + 1} {
+		compareAnswers(t, h, oracle, rand.New(rand.NewSource(int64(q))), "post-swap")
+		rec, _ := get(t, h, fmt.Sprintf("/topk?q=%d&k=5", q))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("post-swap q=%d: %d (%s)", q, rec.Code, rec.Body.String())
+		}
+		var resp struct {
+			Results []struct {
+				Node  int     `json:"node"`
+				Score float64 `json:"score"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := oracle.TopK(q, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results) != len(want) {
+			t.Fatalf("q=%d: %d results, oracle has %d", q, len(resp.Results), len(want))
+		}
+		for i := range want {
+			if resp.Results[i].Node != want[i].Node || resp.Results[i].Score != want[i].Score {
+				t.Fatalf("q=%d rank %d: (%d, %v) vs oracle (%d, %v)", q, i,
+					resp.Results[i].Node, resp.Results[i].Score, want[i].Node, want[i].Score)
+			}
+		}
+	}
+}

@@ -153,12 +153,26 @@ func (sx *ShardedIndex) pushBatch(ctx context.Context, seeds []map[int]float64) 
 				rhs = append(rhs, res[b][best])
 			}
 		}
-		if solvers[best] == nil {
-			solvers[best] = p.index().NewBatchSolver() // first solve maps a lazy shard
-		}
-		ys, sups, err := solvers[best].SolveOn(rhs)
-		if err != nil {
-			panic(fmt.Sprintf("shard: internal batch solve shape mismatch: %v", err)) // sized by partLen; unreachable
+		var ys [][]float64
+		var sups [][]int
+		if r := sx.remote; r != nil {
+			// Distributed serving: the block solve runs on the worker
+			// owning the shard. The right-hand sides are serialized before
+			// the call returns, so spot-cleaning them below is safe.
+			var err error
+			ys, sups, err = r.SolveBatch(best, rhs)
+			if err != nil {
+				return nil, bs, err
+			}
+		} else {
+			if solvers[best] == nil {
+				solvers[best] = p.index().NewBatchSolver() // first solve maps a lazy shard
+			}
+			var err error
+			ys, sups, err = solvers[best].SolveOn(rhs)
+			if err != nil {
+				panic(fmt.Sprintf("shard: internal batch solve shape mismatch: %v", err)) // sized by partLen; unreachable
+			}
 		}
 		bs.BlockSolves++
 		bs.BlockRHS += len(members)

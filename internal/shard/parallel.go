@@ -86,7 +86,9 @@ func (st *pushState) runParallel(w []float64) (QueryStats, error) {
 		}
 		st.reapSpec(false)
 		st.launchSpecs(w, best)
-		st.commitShard(best, &qs)
+		if err := st.commitShard(best, &qs); err != nil {
+			return qs, err
+		}
 	}
 	qs.ResidualMass = total
 	qs.Converged = weighted <= tol
@@ -126,7 +128,7 @@ func (st *pushState) ensureSpec() {
 // rather than duplicated.
 //
 //kdash:deterministic
-func (st *pushState) commitShard(best int, qs *QueryStats) {
+func (st *pushState) commitShard(best int, qs *QueryStats) error {
 	for st.specState[best] == specPending {
 		st.reapSpec(true)
 	}
@@ -137,10 +139,13 @@ func (st *pushState) commitShard(best int, qs *QueryStats) {
 			// the residual drained here, entry for entry.
 			st.consumeResidual(best)
 			st.applySolve(best, st.specY[best], st.specSup[best], qs)
-			return
+			return nil
 		}
 	}
-	st.solveShard(best, qs)
+	// A failed or stale speculation falls through to the synchronous
+	// path — under a RemoteSolver that retries the worker once more
+	// before the query is abandoned.
+	return st.solveShard(best, qs)
 }
 
 // launchSpecs tops the background workers up to the budget with the
@@ -184,13 +189,25 @@ func (st *pushState) launchSpecs(w []float64, best int) {
 // goroutine; the worker runs only the solver's kernel on its private
 // workspace and parks the result for the channel receive to publish.
 func (st *pushState) launchSpec(si int) {
-	if st.specSolvers[si] == nil {
-		st.specSolvers[si] = st.sx.parts[si].index().NewSparseSolver()
-	}
 	idx, val := st.snapshotResidual(si)
 	st.specVer[si] = st.rver[si]
 	st.specState[si] = specPending
 	st.specInFlight++
+	if r := st.sx.remote; r != nil {
+		// Remote speculation: the worker call is concurrency-safe and
+		// returns freshly allocated results, so the goroutine needs no
+		// private solver. The snapshot buffers stay owned by this state —
+		// the RemoteSolver contract forbids retaining them.
+		go func() {
+			y, sup, err := r.SolveSparse(si, idx, val)
+			st.specY[si], st.specSup[si], st.specErr[si] = y, sup, err
+			st.specCh <- si
+		}()
+		return
+	}
+	if st.specSolvers[si] == nil {
+		st.specSolvers[si] = st.sx.parts[si].index().NewSparseSolver()
+	}
 	sl := st.specSolvers[si]
 	go func() {
 		y, sup, err := sl.SolveSparse(idx, val)

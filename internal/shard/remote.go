@@ -1,0 +1,165 @@
+package shard
+
+// Distributed-serving seam. In coordinator mode the greedy cross-shard
+// push — residual bookkeeping, commit order, cut-edge scatter, ranking —
+// runs unchanged in the coordinator process, and only the pure per-shard
+// factor solves are routed through a RemoteSolver to the workers owning
+// the shards. Because a factor solve is a pure function of (shard,
+// right-hand side) and the wire carries raw float64 bits, the
+// distributed push commits exactly the bytes the single-process push
+// would have: the exactness argument is "same inputs, same function,
+// same order", not "close enough". The worker side of the seam is
+// SolveShardSparse/SolveShardBatch below, which run the solves against
+// real factors and return caller-owned copies safe to serialize after
+// the pooled solver has moved on.
+
+import (
+	"fmt"
+	"sync"
+
+	"kdash/internal/core"
+)
+
+// RemoteSolver routes per-shard factor solves to remote workers. An
+// implementation must be safe for concurrent calls (the speculative
+// parallel push solves several shards at once), must not retain idx,
+// val or rhs after returning, and must return results that stay valid
+// indefinitely (freshly allocated, not pooled). SolveSparse returns the
+// solution over a partLen-sized vector plus the solver's first-touch
+// support (nil for a dense solve), exactly like core.SparseSolver;
+// SolveBatch mirrors core.BatchSolver.SolveOn's per-chunk shared-support
+// shape.
+type RemoteSolver interface {
+	SolveSparse(si int, idx []int, val []float64) (y []float64, ysup []int, err error)
+	SolveBatch(si int, rhs [][]float64) (ys [][]float64, sups [][]int, err error)
+}
+
+// SetRemoteSolver routes every factor solve through r (nil restores
+// local solving). Set it before serving queries; it is not carried
+// across Apply — bind a fresh solver on each successor epoch.
+func (sx *ShardedIndex) SetRemoteSolver(r RemoteSolver) { sx.remote = r }
+
+// SetFactorless marks the index coordinator-side: shard rebuilds under
+// Apply skip the factorization entirely (p.ix stays nil), keeping only
+// the placement map, cut lists and graph snapshot the push bookkeeping
+// needs. Only valid together with SetRemoteSolver on an index whose
+// shard files were opened lazily — with factors absent, any local solve
+// would fault.
+func (sx *ShardedIndex) SetFactorless() { sx.factorless = true }
+
+// PartLen reports shard si's solve dimension: owned nodes plus the
+// ghost sink row when the shard has outgoing cut weight.
+func (sx *ShardedIndex) PartLen(si int) int { return sx.partLen(si) }
+
+// ShardNodes reports the number of owned nodes in shard si (PartLen
+// minus the ghost sink row).
+func (sx *ShardedIndex) ShardNodes(si int) int { return len(sx.parts[si].nodes) }
+
+// remotePools lazily sizes the per-part solver pools backing the worker
+// RPC surface.
+func (sx *ShardedIndex) remotePools() {
+	sx.rpoolOnce.Do(func() {
+		sx.rsparse = make([]sync.Pool, len(sx.parts))
+		sx.rbatch = make([]sync.Pool, len(sx.parts))
+	})
+}
+
+// remoteSparseSolver checks a single-lane solver for shard si out of the
+// worker-surface pool, creating one on first use.
+//
+//kdash:pooled
+func (sx *ShardedIndex) remoteSparseSolver(si int) *core.SparseSolver {
+	if sl, ok := sx.rsparse[si].Get().(*core.SparseSolver); ok {
+		return sl
+	}
+	return sx.parts[si].index().NewSparseSolver()
+}
+
+// remoteBatchSolver checks a block solver for shard si out of the
+// worker-surface pool, creating one on first use.
+//
+//kdash:pooled
+func (sx *ShardedIndex) remoteBatchSolver(si int) *core.BatchSolver {
+	if sl, ok := sx.rbatch[si].Get().(*core.BatchSolver); ok {
+		return sl
+	}
+	return sx.parts[si].index().NewBatchSolver()
+}
+
+// SolveShardSparse is the worker side of RemoteSolver.SolveSparse: one
+// single-lane solve against shard si's real factors through a pooled
+// solver. The returned slices are caller-owned copies — for a sparse
+// solve y is a fresh partLen-sized vector written only on the support
+// (rows outside it are zero, and by the SolveSparse contract never
+// read), for a dense solve ysup is nil and all of y is meaningful. Safe
+// for concurrent calls.
+func (sx *ShardedIndex) SolveShardSparse(si int, idx []int, val []float64) ([]float64, []int, error) {
+	if si < 0 || si >= len(sx.parts) {
+		return nil, nil, fmt.Errorf("shard: solve shard %d outside [0,%d)", si, len(sx.parts))
+	}
+	sx.remotePools()
+	sl := sx.remoteSparseSolver(si)
+	y, ysup, err := sl.SolveSparse(idx, val)
+	if err != nil {
+		sx.rsparse[si].Put(sl)
+		return nil, nil, err
+	}
+	n := sx.partLen(si)
+	var yc []float64
+	var supc []int
+	if ysup == nil {
+		yc = append(make([]float64, 0, n), y[:n]...)
+	} else {
+		yc = make([]float64, n)
+		supc = append(make([]int, 0, len(ysup)), ysup...)
+		for _, lv := range ysup {
+			yc[lv] = y[lv]
+		}
+	}
+	sx.rsparse[si].Put(sl)
+	return yc, supc, nil
+}
+
+// SolveShardBatch is the worker side of RemoteSolver.SolveBatch: one
+// multi-lane block solve against shard si's real factors through a
+// pooled solver, preserving SolveOn's chunk structure (sups carries
+// entries at core.BlockWidth chunk starts). Like SolveShardSparse the
+// results are caller-owned copies; lanes of a support chunk are written
+// only on the chunk's shared support. Safe for concurrent calls.
+func (sx *ShardedIndex) SolveShardBatch(si int, rhs [][]float64) ([][]float64, [][]int, error) {
+	if si < 0 || si >= len(sx.parts) {
+		return nil, nil, fmt.Errorf("shard: solve shard %d outside [0,%d)", si, len(sx.parts))
+	}
+	sx.remotePools()
+	sl := sx.remoteBatchSolver(si)
+	ys, sups, err := sl.SolveOn(rhs)
+	if err != nil {
+		sx.rbatch[si].Put(sl)
+		return nil, nil, err
+	}
+	n := sx.partLen(si)
+	ysC := make([][]float64, len(ys))
+	supsC := make([][]int, len(ys))
+	for g0 := 0; g0 < len(ys); g0 += core.BlockWidth {
+		g1 := g0 + core.BlockWidth
+		if g1 > len(ys) {
+			g1 = len(ys)
+		}
+		if sup := sups[g0]; sup != nil {
+			supsC[g0] = append(make([]int, 0, len(sup)), sup...)
+			for j := g0; j < g1; j++ {
+				lane := make([]float64, n)
+				for _, lv := range sup {
+					lane[lv] = ys[j][lv]
+				}
+				ysC[j] = lane
+			}
+		} else {
+			for j := g0; j < g1; j++ {
+				ysC[j] = append(make([]float64, 0, n), ys[j][:n]...)
+			}
+		}
+	}
+	sx.rbatch[si].Put(sl)
+	return ysC, supsC, nil
+}

@@ -63,7 +63,7 @@ func (sx *ShardedIndex) pushWeighted(seeds map[int]float64, w []float64) ([][]fl
 	for _, g := range seedNodesSorted(seeds) {
 		st.seed(g, seeds[g])
 	}
-	qs, _ := st.run(w) // no context on the state: run cannot fail
+	qs, _ := st.run(w) // no context and no RemoteSolver on this path: run cannot fail
 	x := st.materialize()
 	sx.putPushState(st)
 	return x, qs
@@ -219,7 +219,11 @@ func (sx *ShardedIndex) TopKPersonalized(seeds map[int]float64, k int) ([]topk.R
 	for _, node := range nodes {
 		st.seed(node, sx.c*seeds[node]/total)
 	}
-	qs, _ = st.run(nil) // no context on the state: run cannot fail
+	qs, err := st.run(nil)
+	if err != nil {
+		sx.putPushState(st)
+		return nil, qs.searchStats(), err
+	}
 	results := st.rank(k, nil)
 	sx.putPushState(st)
 	return results, qs.searchStats(), nil
@@ -312,7 +316,10 @@ func (sx *ShardedIndex) Proximity(q, u int) (float64, error) {
 	}
 	st := sx.getPushState()
 	st.seed(q, sx.c)
-	_, _ = st.run(sx.pairWeights(sx.home[u])) // no context: cannot fail
+	if _, err := st.run(sx.pairWeights(sx.home[u])); err != nil {
+		sx.putPushState(st)
+		return 0, err
+	}
 	p := 0.0
 	// Untouched state entries are zero by the pool invariant, so the
 	// single entry can be read directly once the shard has been solved.

@@ -310,6 +310,21 @@ type ShardedIndex struct {
 	pairWOnce sync.Once
 	pairW     []atomic.Pointer[[]float64]
 
+	// Distributed-serving state (see remote.go). factorless marks a
+	// coordinator-side index: buildPart skips the factorization (and
+	// lazy opens never happen because every solve routes remotely), so
+	// the index holds only the placement map, cut lists and graph
+	// snapshot. remote, when set, routes every per-shard factor solve
+	// through a RemoteSolver; it is not carried across Apply — the
+	// coordinator rebinds a per-epoch solver on each successor. The
+	// pools back the worker-side SolveShardSparse/SolveShardBatch RPC
+	// surface with reusable per-part solvers.
+	factorless bool
+	remote     RemoteSolver
+	rpoolOnce  sync.Once
+	rsparse    []sync.Pool
+	rbatch     []sync.Pool
+
 	// solveCounts tracks cumulative factor solves per shard — the
 	// traffic-weighted counterpart of shardsOpened, exposed through
 	// Statz (and from there /metrics) so operators can see which
@@ -661,6 +676,14 @@ func (sx *ShardedIndex) buildPart(g *graph.Graph, si int, method reorder.Method,
 				hasLeak = true
 			}
 		})
+	}
+	if sx.factorless {
+		// Coordinator-side index: the placement map, cut lists and sink
+		// flags are all the local push bookkeeping needs — the factor
+		// solves run on workers, so the refactorization is skipped and
+		// p.ix stays nil.
+		p.sink = hasLeak
+		return nil
 	}
 	total := ns
 	if hasLeak {

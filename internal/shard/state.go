@@ -198,9 +198,11 @@ func (st *pushState) run(w []float64) (QueryStats, error) {
 			}
 		}
 		if st.tr != nil {
-			st.traceSolve(best, total, &qs)
-		} else {
-			st.solveShard(best, &qs)
+			if err := st.traceSolve(best, total, &qs); err != nil {
+				return qs, err
+			}
+		} else if err := st.solveShard(best, &qs); err != nil {
+			return qs, err
 		}
 	}
 	qs.ResidualMass = total
@@ -225,11 +227,13 @@ func (st *pushState) run(w []float64) (QueryStats, error) {
 // pending-mass snapshot before, the shard's consumed mass, the solve's
 // support size and wall clock, and the total residual left after —
 // the residual-bound trajectory clients see in the trace block.
-func (st *pushState) traceSolve(best int, totalBefore float64, qs *QueryStats) {
+func (st *pushState) traceSolve(best int, totalBefore float64, qs *QueryStats) error {
 	consumed := st.resMass[best]
 	evalBefore := qs.NodesEvaluated
 	t0 := time.Now() //kdash:allow(determinism) wall clock feeds only the trace block, never the solve or ranking
-	st.solveShard(best, qs)
+	if err := st.solveShard(best, qs); err != nil {
+		return err
+	}
 	d := time.Since(t0) //kdash:allow(determinism) trace-only duration
 	after := 0.0
 	for si := range st.resMass {
@@ -242,6 +246,7 @@ func (st *pushState) traceSolve(best int, totalBefore float64, qs *QueryStats) {
 		NodesEvaluated: qs.NodesEvaluated - evalBefore,
 		DurationNS:     d.Nanoseconds(),
 	}, after)
+	return nil
 }
 
 // consumeResidual drains shard best's residual into an ascending sparse
@@ -283,17 +288,32 @@ func (st *pushState) solver(si int) *core.SparseSolver {
 }
 
 // solveShard consumes shard best's residual through the shard's sparse
-// solver, accumulates the solution and scatters solved mass across the
-// cut edges — all proportional to the solve's actual support.
+// solver — or, under a RemoteSolver, through the worker owning the
+// shard — accumulates the solution and scatters solved mass across the
+// cut edges, all proportional to the solve's actual support. Only the
+// remote path can fail: a local solve's shape is guaranteed by
+// construction, but a worker can be unreachable, and that error must
+// surface as an abandoned query, never a partial answer.
 //
 //kdash:noalloc
-func (st *pushState) solveShard(best int, qs *QueryStats) {
+func (st *pushState) solveShard(best int, qs *QueryStats) error {
 	idx, val := st.consumeResidual(best)
-	y, ysup, err := st.solver(best).SolveSparse(idx, val)
-	if err != nil {
-		panic(fmt.Sprintf("shard: internal solve shape mismatch: %v", err)) //kdash:allow(hotalloc) unreachable: rhs is gathered from partLen-sized vectors
+	var y []float64
+	var ysup []int
+	var err error
+	if r := st.sx.remote; r != nil {
+		y, ysup, err = r.SolveSparse(best, idx, val)
+		if err != nil {
+			return err
+		}
+	} else {
+		y, ysup, err = st.solver(best).SolveSparse(idx, val)
+		if err != nil {
+			panic(fmt.Sprintf("shard: internal solve shape mismatch: %v", err)) //kdash:allow(hotalloc) unreachable: rhs is gathered from partLen-sized vectors
+		}
 	}
 	st.applySolve(best, y, ysup, qs)
+	return nil
 }
 
 // applySolve folds one shard solve into the push: the solution

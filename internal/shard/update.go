@@ -209,6 +209,7 @@ func (sx *ShardedIndex) Apply(batch *graph.Delta) (*ShardedIndex, UpdateStats, e
 		precision:      sx.precision,
 		pushWorkers:    sx.pushWorkers,
 		mapCapable:     sx.mapCapable, // shared unrebuilt parts keep their mappings
+		factorless:     sx.factorless, // remote is deliberately not carried: the coordinator rebinds per epoch
 	}
 	cutMask := make([]bool, s)
 	for si := 0; si < s; si++ {

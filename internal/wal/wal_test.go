@@ -361,3 +361,68 @@ func TestMissingMiddleSegmentFailsOpen(t *testing.T) {
 		t.Fatal("Open succeeded across a missing middle segment")
 	}
 }
+
+// TestReopenDegenerateActiveSegments pins recovery at the two
+// degenerate active-segment lengths a crash can leave behind, plus the
+// partially written magic between them: a 0-byte file (killed between
+// segment create and magic write), a header-only file (magic written,
+// no records yet), and a torn prefix of the magic itself. In every case
+// reopen must keep the earlier segments' records, restore a writable
+// header, and continue the sequence with no gap.
+func TestReopenDegenerateActiveSegments(t *testing.T) {
+	const n = 5 // records in the healthy first segment
+	cases := []struct {
+		name     string
+		tail     []byte // content of the hand-made next segment
+		wantTorn int64  // TornBytesDropped the scan should report
+	}{
+		{"empty-zero-bytes", nil, 0},
+		{"exactly-magic-length", []byte(segMagic), 0},
+		{"partial-magic", []byte(segMagic[:3]), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			l := openT(t, dir, Options{Sync: SyncNone})
+			for i := 1; i <= n; i++ {
+				if _, err := l.Append(body(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// Plant the degenerate active segment where a rotation crash
+			// would have left it: first seq continuous with the log.
+			next := filepath.Join(dir, segmentName(n+1))
+			if err := os.WriteFile(next, tc.tail, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l2 := openT(t, dir, Options{Sync: SyncNone})
+			if st := l2.Stats(); st.RecoveredRecords != n || st.TornBytesDropped != tc.wantTorn {
+				t.Fatalf("recovery stats = %+v, want %d records / %d torn bytes", st, n, tc.wantTorn)
+			}
+			if got := collect(t, l2, 0); len(got) != n {
+				t.Fatalf("replayed %d records, want %d", len(got), n)
+			}
+			seq, err := l2.Append(body(n + 1))
+			if err != nil || seq != n+1 {
+				t.Fatalf("post-reopen Append = (%d, %v), want (%d, nil)", seq, err, n+1)
+			}
+			if err := l2.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// A second reopen proves the rewritten header round-trips: all
+			// n+1 records replay, none counted torn.
+			l3 := openT(t, dir, Options{Sync: SyncNone})
+			if got := collect(t, l3, 0); len(got) != n+1 {
+				t.Fatalf("second reopen replayed %d records, want %d", len(got), n+1)
+			}
+			if st := l3.Stats(); st.TornBytesDropped != 0 {
+				t.Fatalf("second reopen still drops torn bytes: %+v", st)
+			}
+		})
+	}
+}
